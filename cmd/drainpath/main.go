@@ -1,0 +1,105 @@
+// Command drainpath runs DRAIN's offline algorithm on a topology and
+// prints the drain path and per-router turn tables (paper §III-B and
+// Fig. 6).
+//
+//	drainpath -mesh 4x4
+//	drainpath -mesh 8x8 -faults 8 -fault-seed 3 -alg search
+//	drainpath -chiplets 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strings"
+	"time"
+
+	"drain/internal/drainpath"
+	"drain/internal/topology"
+)
+
+func main() {
+	mesh := flag.String("mesh", "4x4", "mesh dimensions WxH")
+	faults := flag.Int("faults", 0, "random link failures")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault pattern seed")
+	alg := flag.String("alg", "euler", "path algorithm: euler (Hierholzer) or search (Hawick-James style)")
+	chiplets := flag.Int("chiplets", 0, "build a chiplet system of this many 2x2 chiplets instead of a mesh")
+	turns := flag.Bool("turns", false, "print per-router turn tables")
+	flag.Parse()
+
+	var (
+		g   *topology.Graph
+		err error
+	)
+	if *chiplets > 0 {
+		g, err = topology.NewChiplet(*chiplets, 2, 2)
+	} else {
+		var w, h int
+		if _, serr := fmt.Sscanf(strings.ToLower(*mesh), "%dx%d", &w, &h); serr != nil {
+			fatal(fmt.Errorf("bad -mesh %q: %v", *mesh, serr))
+		}
+		var m *topology.Mesh
+		m, err = topology.NewMesh(w, h)
+		if err == nil {
+			g = m.Graph
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *faults > 0 {
+		rng := rand.New(rand.NewPCG(*faultSeed, *faultSeed^0xb5297a4d))
+		g, err = topology.RemoveRandomLinks(g, *faults, rng)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("topology: %d routers, %d bidirectional edges, %d unidirectional links, diameter %d\n",
+		g.N(), len(g.Edges()), g.NumLinks(), g.Diameter())
+
+	start := time.Now()
+	var p *drainpath.Path
+	switch *alg {
+	case "euler":
+		p, err = drainpath.FindEulerian(g)
+	case "search":
+		p, err = drainpath.FindCoveringCycle(g, 0)
+	default:
+		err = fmt.Errorf("unknown -alg %q", *alg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if err := drainpath.Validate(g, p); err != nil {
+		fatal(fmt.Errorf("internal error: produced path is invalid: %w", err))
+	}
+	fmt.Printf("drain path found in %v: %d links, covers all links, single cycle\n", elapsed, p.Len())
+	fmt.Printf("path: %s\n", p)
+	if *turns {
+		fmt.Println("\nturn tables (input link -> output link per router):")
+		tt := p.TurnTable(g)
+		for r, tab := range tt {
+			ins, outs := tab[0], tab[1]
+			if len(ins) == 0 {
+				continue
+			}
+			var b strings.Builder
+			for i := range ins {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%v→%v", g.Link(ins[i]), g.Link(outs[i]))
+			}
+			fmt.Printf("  router %2d: %s\n", r, b.String())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drainpath:", err)
+	os.Exit(1)
+}

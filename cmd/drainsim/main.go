@@ -1,0 +1,170 @@
+// Command drainsim runs one network simulation and prints its results.
+//
+// Synthetic traffic:
+//
+//	drainsim -scheme drain -mesh 8x8 -faults 4 -pattern uniform -rate 0.1
+//
+// Coherence workload:
+//
+//	drainsim -scheme drain -mesh 4x4 -workload canneal -ops 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"drain/internal/sim"
+	"drain/internal/traffic"
+	"drain/internal/workload"
+)
+
+func parseScheme(s string) (sim.Scheme, error) {
+	switch s {
+	case "none":
+		return sim.SchemeNone, nil
+	case "ideal":
+		return sim.SchemeIdeal, nil
+	case "escape", "escape-vc":
+		return sim.SchemeEscapeVC, nil
+	case "spin":
+		return sim.SchemeSPIN, nil
+	case "drain":
+		return sim.SchemeDRAIN, nil
+	case "updown":
+		return sim.SchemeUpDown, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (none|ideal|escape|spin|drain|updown)", s)
+	}
+}
+
+func main() {
+	scheme := flag.String("scheme", "drain", "deadlock-freedom scheme: none, ideal, escape, spin, drain, updown")
+	mesh := flag.String("mesh", "8x8", "mesh dimensions WxH")
+	faults := flag.Int("faults", 0, "random bidirectional link failures (connectivity preserved)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault pattern seed")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	pattern := flag.String("pattern", "uniform", "synthetic traffic pattern")
+	rate := flag.Float64("rate", 0.05, "offered load, packets/node/cycle")
+	warmup := flag.Int64("warmup", 10_000, "warmup cycles")
+	measure := flag.Int64("measure", 50_000, "measurement cycles")
+	epoch := flag.Int64("epoch", 64*1024, "DRAIN drain epoch (cycles)")
+	wl := flag.String("workload", "", "run a coherence workload instead of synthetic traffic")
+	ops := flag.Int64("ops", 500, "memory operations per core for -workload runs")
+	maxCycles := flag.Int64("max-cycles", 5_000_000, "cycle budget for -workload runs")
+	tracePath := flag.String("trace", "", "write a per-packet CSV trace to this file")
+	sweep := flag.String("sweep", "", "comma-separated offered loads for a latency/throughput sweep (overrides -rate)")
+	flag.Parse()
+
+	sch, err := parseScheme(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	var w, h int
+	if _, err := fmt.Sscanf(strings.ToLower(*mesh), "%dx%d", &w, &h); err != nil {
+		fatal(fmt.Errorf("bad -mesh %q: %v", *mesh, err))
+	}
+	p := sim.Params{
+		Width: w, Height: h,
+		Faults: *faults, FaultSeed: *faultSeed,
+		Scheme: sch, Epoch: *epoch, Seed: *seed,
+	}
+	if *wl != "" {
+		p.Classes = 3
+		p.InjectCap = 16
+	}
+	r, err := sim.Build(p)
+	if err != nil {
+		fatal(err)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r.Trace = f
+	}
+	fmt.Printf("topology: %dx%d mesh, %d faults, %d routers, %d links, diameter %d\n",
+		w, h, *faults, r.Graph.N(), r.Graph.NumLinks(), r.Graph.Diameter())
+	fmt.Printf("scheme: %v (VNets=%d, VCs/VNet=%d)\n",
+		sch, r.Net.Config().VNets, r.Net.Config().VCsPerVN)
+
+	if *wl != "" {
+		prof, err := workload.Get(*wl)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := r.RunApp(prof, *ops, *maxCycles)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("workload %s: completed=%v runtime=%d cycles\n", prof, res.Completed, res.Runtime)
+		fmt.Printf("packet latency: avg=%.1f p99=%d\n", res.AvgLatency, res.P99Latency)
+		fmt.Printf("protocol: issued=%d completed=%d hits=%d misses=%d messages=%d\n",
+			res.Protocol.OpsIssued, res.Protocol.OpsCompleted,
+			res.Protocol.Hits, res.Protocol.Misses, res.Protocol.MsgsSent)
+		if res.Drains > 0 {
+			fmt.Printf("drains: %d\n", res.Drains)
+		}
+		if res.Spins > 0 {
+			fmt.Printf("spins: %d\n", res.Spins)
+		}
+		if res.Deadlocked {
+			fmt.Printf("DEADLOCKED at cycle %d\n", res.DeadlockCycle)
+		}
+		return
+	}
+
+	if *sweep != "" {
+		var rates []float64
+		for _, s := range strings.Split(*sweep, ",") {
+			var v float64
+			if _, err := fmt.Sscan(strings.TrimSpace(s), &v); err != nil {
+				fatal(fmt.Errorf("bad -sweep entry %q: %v", s, err))
+			}
+			rates = append(rates, v)
+		}
+		curve, err := sim.LoadSweep(p, *pattern, rates, *warmup, *measure)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%10s %10s %12s %8s\n", "offered", "accepted", "avg latency", "p99")
+		for _, pt := range curve {
+			fmt.Printf("%10.3f %10.4f %12.1f %8d\n", pt.Offered, pt.Accepted, pt.AvgLat, pt.P99Lat)
+		}
+		fmt.Printf("saturation throughput: %.4f packets/node/cycle\n", curve.Saturation())
+		return
+	}
+
+	pat, err := traffic.ByName(*pattern, r.Graph.N(), w)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := r.RunSynthetic(pat, *rate, *warmup, *measure)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("traffic: %s at %.3f packets/node/cycle\n", pat.Name(), *rate)
+	fmt.Printf("accepted: %.4f packets/node/cycle\n", res.Accepted)
+	fmt.Printf("latency: avg=%.1f p99=%d cycles\n", res.AvgLatency, res.P99Latency)
+	fmt.Printf("hops: avg=%.2f, misroutes/1k packets: %.1f\n", res.AvgHops, res.MisroutesPerK)
+	if res.Deadlocked {
+		fmt.Printf("DEADLOCKED at cycle %d\n", res.DeadlockCycle)
+	}
+	if r.Drain != nil {
+		st := r.Drain.Stats()
+		fmt.Printf("drains: %d (%d full), %d packet-hops forced, %d drain-ejections\n",
+			st.Drains, st.FullDrains, st.PacketsMoved, st.Ejections)
+	}
+	if r.Spin != nil {
+		st := r.Spin.Stats()
+		fmt.Printf("spins: %d detections, %d spins, %d probes\n", st.Detections, st.Spins, st.Probes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drainsim:", err)
+	os.Exit(1)
+}

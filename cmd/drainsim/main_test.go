@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseScheme(t *testing.T) {
+	cases := map[string]bool{
+		"none": true, "ideal": true, "escape": true, "escape-vc": true,
+		"spin": true, "drain": true, "updown": true,
+		"": false, "DRAIN": false, "turnmodel": false,
+	}
+	for in, ok := range cases {
+		_, err := parseScheme(in)
+		if ok && err != nil {
+			t.Errorf("parseScheme(%q): %v", in, err)
+		}
+		if !ok && err == nil {
+			t.Errorf("parseScheme(%q) accepted", in)
+		}
+	}
+	// escape and escape-vc must agree.
+	a, _ := parseScheme("escape")
+	b, _ := parseScheme("escape-vc")
+	if a != b {
+		t.Error("escape aliases disagree")
+	}
+}

@@ -1,0 +1,128 @@
+// Command experiments regenerates the DRAIN paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -fig all -scale quick
+//	experiments -fig fig10,fig11 -scale full -seed 7 -out results/
+//
+// Each figure's data is printed as markdown and, with -out, also written
+// to <out>/<fig>.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"drain/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "comma-separated experiment IDs (fig3..fig15, headline) or 'all'")
+	scale := flag.String("scale", "quick", "experiment scale: quick or full")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	out := flag.String("out", "", "directory to write per-figure markdown files (optional)")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this JSON file")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var ids []string
+	if *fig == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*fig, ",")
+	}
+
+	type jsonEntry struct {
+		ID      string              `json:"id"`
+		Title   string              `json:"title"`
+		Paper   string              `json:"paper"`
+		Scale   string              `json:"scale"`
+		Seed    uint64              `json:"seed"`
+		Elapsed string              `json:"elapsed"`
+		Tables  []experiments.Table `json:"tables"`
+	}
+	var jsonEntries []jsonEntry
+
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+			failed++
+			continue
+		}
+		start := time.Now()
+		tables, err := e.Run(sc, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		jsonEntries = append(jsonEntries, jsonEntry{
+			ID: e.ID, Title: e.Title, Paper: e.Paper,
+			Scale: sc.String(), Seed: *seed,
+			Elapsed: time.Since(start).Round(time.Millisecond).String(),
+			Tables:  tables,
+		})
+		var b strings.Builder
+		fmt.Fprintf(&b, "## %s — %s\n\n", e.ID, e.Title)
+		fmt.Fprintf(&b, "Paper: %s\n\n", e.Paper)
+		for _, t := range tables {
+			b.WriteString(t.Markdown())
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "_(scale=%v, seed=%d, took %v)_\n", sc, *seed, time.Since(start).Round(time.Millisecond))
+		fmt.Println(b.String())
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*out, id+".md")
+			if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(jsonEntries, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,88 @@
+package drain
+
+import "testing"
+
+func TestRunSynthetic(t *testing.T) {
+	res, err := Run(Config{
+		Width: 4, Height: 4,
+		Scheme:  DRAIN,
+		Pattern: "uniform", Rate: 0.05,
+		Warmup: 1000, Measure: 4000,
+		Epoch: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted < 0.04 || res.Accepted > 0.06 {
+		t.Errorf("accepted = %v", res.Accepted)
+	}
+	if res.AvgLatency <= 0 || res.Deadlocked {
+		t.Errorf("bad result: %+v", res)
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	res, err := Run(Config{
+		Width: 4, Height: 4,
+		Scheme:    DRAIN,
+		Workload:  "blackscholes",
+		OpsTarget: 200, MaxCycles: 500_000,
+		Epoch: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("workload did not complete")
+	}
+	if res.Runtime <= 0 || res.AvgLatency <= 0 {
+		t.Errorf("bad result: %+v", res)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{Width: 4, Height: 4, Pattern: "nope"}); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+	if _, err := Run(Config{Width: 4, Height: 4, Workload: "nope"}); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestComputeDrainPath(t *testing.T) {
+	p, err := ComputeDrainPath(4, 4, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x4 mesh: 24 edges − 2 faults = 22 edges → 44 unidirectional links.
+	if len(p.Hops) != 44 {
+		t.Errorf("path length %d, want 44", len(p.Hops))
+	}
+	for i, hop := range p.Hops {
+		next := p.Hops[(i+1)%len(p.Hops)]
+		if hop[1] != next[0] {
+			t.Fatalf("hop %d ends at %d but next starts at %d", i, hop[1], next[0])
+		}
+	}
+}
+
+func TestComputeDrainPathOn(t *testing.T) {
+	// A triangle.
+	p, err := ComputeDrainPathOn(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Hops) != 6 {
+		t.Errorf("triangle path length %d, want 6", len(p.Hops))
+	}
+	if _, err := ComputeDrainPathOn(4, [][2]int{{0, 1}, {2, 3}}); err == nil {
+		t.Error("disconnected topology should fail")
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 15 {
+		t.Errorf("workloads = %d, want 15", len(ws))
+	}
+}

@@ -1,0 +1,54 @@
+// Chiplet demonstrates the paper's §VI "Heterogeneous Systems" use case:
+// several independently designed chiplet meshes joined by an interposer
+// ring. Composing individually deadlock-free networks is not deadlock-
+// free, but DRAIN makes the composition safe with fully adaptive routing
+// and no extra virtual channels — the offline algorithm finds a drain
+// path over the whole composed topology.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drain/internal/sim"
+	"drain/internal/topology"
+	"drain/internal/traffic"
+)
+
+func main() {
+	const chiplets = 4
+	g, err := topology.NewChiplet(chiplets, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chiplet system: %d chiplets (2x2 each) + %d interposer routers = %d routers, %d links, diameter %d\n",
+		chiplets, chiplets, g.N(), g.NumLinks(), g.Diameter())
+
+	r, err := sim.BuildOn(g, nil, sim.Params{
+		Scheme: sim.SchemeDRAIN,
+		Epoch:  4096,
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("drain path: single cycle over all %d links (computed offline)\n\n", r.Drain.Path().Len())
+
+	for _, rate := range []float64{0.02, 0.05, 0.10} {
+		// Fresh runner per load point.
+		rr, err := sim.BuildOn(g, nil, sim.Params{Scheme: sim.SchemeDRAIN, Epoch: 4096, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rr.RunSynthetic(traffic.UniformRandom{N: g.N()}, rate, 2_000, 20_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("offered %.2f: accepted %.4f, avg latency %6.1f, p99 %4d, drains %d\n",
+			rate, res.Accepted, res.AvgLatency, res.P99Latency, rr.Drain.Stats().Drains)
+	}
+
+	fmt.Println("\nCross-chiplet traffic routes fully adaptively through the interposer with")
+	fmt.Println("no inter-vendor turn restrictions; the periodic drain guarantees any")
+	fmt.Println("deadlock spanning chiplet and interposer networks is removed.")
+}

@@ -1,0 +1,59 @@
+// Coherence demonstrates protocol-level deadlock freedom without
+// virtual networks: a MESI-coherent 16-core system whose request,
+// forward and response messages all share ONE virtual network, kept live
+// by DRAIN's periodic drains — versus the conventional 3-virtual-network
+// provisioning.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drain"
+)
+
+func main() {
+	const workload = "canneal"
+	fmt.Printf("MESI-coherent 4x4 system running %q (paper's most network-intensive PARSEC workload)\n\n", workload)
+
+	type cfg struct {
+		name   string
+		scheme drain.Scheme
+		vnets  int
+		vcs    int
+	}
+	for _, c := range []cfg{
+		{"escape VCs, 3 virtual networks", drain.EscapeVC, 3, 2},
+		{"SPIN,       3 virtual networks", drain.SPIN, 3, 2},
+		{"DRAIN,      1 virtual network ", drain.DRAIN, 1, 2},
+	} {
+		res, err := drain.Run(drain.Config{
+			Width: 4, Height: 4,
+			Scheme: c.scheme, VNets: c.vnets, VCsPerVN: c.vcs,
+			Workload:  workload,
+			OpsTarget: 400, MaxCycles: 2_000_000,
+			Epoch: 8192, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "completed"
+		if !res.Completed {
+			status = "DID NOT COMPLETE"
+		}
+		fmt.Printf("%s: %s in %7d cycles, avg packet latency %6.1f, p99 %4d",
+			c.name, status, res.Runtime, res.AvgLatency, res.P99Latency)
+		if res.Drains > 0 {
+			fmt.Printf(", %d drains", res.Drains)
+		}
+		if res.Spins > 0 {
+			fmt.Printf(", %d spins", res.Spins)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nDRAIN runs the same coherent workload on one third of the VC buffering:")
+	fmt.Println("requests, forwards and responses share a single virtual network, and the")
+	fmt.Println("periodic drain guarantees any protocol-level dependency cycle is broken")
+	fmt.Println("(paper §III-D2) — no per-class virtual networks required.")
+}

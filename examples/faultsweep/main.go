@@ -1,0 +1,43 @@
+// Faultsweep demonstrates DRAIN's fault-tolerance story (paper §II-D):
+// as links fail over a chip's lifetime, the offline algorithm recomputes
+// the drain path for each new irregular topology and the network keeps
+// running with unrestricted adaptive routing — no routing-restriction
+// reconfiguration needed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drain"
+)
+
+func main() {
+	fmt.Println("8x8 mesh aging: random link failures accumulate; DRAIN recomputes its")
+	fmt.Println("drain path after each failure and keeps the network deadlock-free.")
+	fmt.Println()
+	fmt.Printf("%7s %12s %12s %12s %10s\n", "faults", "drain links", "accepted", "avg latency", "p99")
+	for _, faults := range []int{0, 2, 4, 8, 12} {
+		path, err := drain.ComputeDrainPath(8, 8, faults, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := drain.Run(drain.Config{
+			Width: 8, Height: 8,
+			Faults: faults, FaultSeed: 42,
+			Scheme:  drain.DRAIN,
+			Pattern: "uniform", Rate: 0.10,
+			Warmup: 5_000, Measure: 20_000,
+			Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7d %12d %12.4f %12.1f %10d\n",
+			faults, len(path.Hops), res.Accepted, res.AvgLatency, res.P99Latency)
+	}
+	fmt.Println("\nEach row is a progressively more irregular topology; the drain path always")
+	fmt.Println("exists (a connected network with bidirectional links and U-turns always has")
+	fmt.Println("a cycle covering all links, paper §III-A) and performance degrades gracefully")
+	fmt.Println("with the lost bandwidth rather than with routing restrictions.")
+}

@@ -1,0 +1,50 @@
+// Quickstart: compare the three deadlock-freedom schemes on a faulty
+// 8x8 mesh under uniform random traffic, and print the drain path DRAIN
+// computed for the irregular topology.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drain"
+)
+
+func main() {
+	const (
+		faults = 4
+		rate   = 0.10
+	)
+	fmt.Printf("8x8 mesh, %d random link failures, uniform random traffic at %.2f packets/node/cycle\n\n",
+		faults, rate)
+
+	fmt.Printf("%-10s %10s %12s %8s %8s\n", "scheme", "accepted", "avg latency", "p99", "drains")
+	for _, s := range []drain.Scheme{drain.EscapeVC, drain.SPIN, drain.DRAIN} {
+		res, err := drain.Run(drain.Config{
+			Width: 8, Height: 8,
+			Faults: faults, FaultSeed: 7,
+			Scheme:  s,
+			Pattern: "uniform", Rate: rate,
+			Warmup: 5_000, Measure: 20_000,
+			Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10v %10.4f %12.1f %8d %8d\n",
+			s, res.Accepted, res.AvgLatency, res.P99Latency, res.Drains)
+	}
+
+	// The offline algorithm (paper §III-B): one cycle covering every
+	// unidirectional link of the irregular topology.
+	path, err := drain.ComputeDrainPath(8, 8, faults, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndrain path: a single cycle over all %d unidirectional links\n", len(path.Hops))
+	fmt.Print("first 10 hops: ")
+	for i := 0; i < 10 && i < len(path.Hops); i++ {
+		fmt.Printf("%d→%d ", path.Hops[i][0], path.Hops[i][1])
+	}
+	fmt.Println("…")
+}

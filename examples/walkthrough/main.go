@@ -1,0 +1,39 @@
+// Walkthrough reproduces the paper's Fig. 8 step by step: a 3x3 mesh
+// with a faulty link between routers 2 and 5, two planted deadlock
+// cycles, and a single drain window that forces every deadlocked packet
+// one hop along the drain path — breaking both cycles.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drain/internal/experiments"
+)
+
+func main() {
+	fmt.Println("DRAIN walk-through (paper Fig. 8)")
+	fmt.Println("topology: 3x3 mesh, link 2-5 faulty")
+	fmt.Print(`
+    6 - 7 - 8
+    |   |   |
+    3 - 4   5
+    |   |   |
+    0 - 1 - 2   (edge 4-5 present; edge 2-5 removed)
+`)
+	e, ok := experiments.ByID("fig8")
+	if !ok {
+		log.Fatal("fig8 experiment not registered")
+	}
+	tables, err := e.Run(experiments.Quick, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Markdown())
+	}
+	fmt.Println("Two cycles of four packets each were planted so that every packet's only")
+	fmt.Println("minimal next hop was held by the next packet — a textbook routing deadlock.")
+	fmt.Println("The drain window forced all of them one hop along the statically computed")
+	fmt.Println("drain path; misrouted packets then re-routed and every packet was delivered.")
+}

@@ -1,0 +1,3 @@
+module drain
+
+go 1.22

@@ -1,0 +1,140 @@
+package drain
+
+// End-to-end integration tests over the public facade: every scheme, on
+// regular and faulty topologies, for synthetic and coherent workloads.
+// These are the "does the whole system hang together" checks; module
+// behaviour is covered by the internal packages' suites.
+
+import (
+	"testing"
+)
+
+func TestAllSchemesDeliverSyntheticTraffic(t *testing.T) {
+	for _, s := range []Scheme{Ideal, EscapeVC, SPIN, DRAIN, UpDown} {
+		for _, faults := range []int{0, 3} {
+			res, err := Run(Config{
+				Width: 4, Height: 4,
+				Faults: faults, FaultSeed: 11,
+				Scheme:  s,
+				Pattern: "uniform", Rate: 0.05,
+				Warmup: 1000, Measure: 4000,
+				Epoch: 2000, Seed: 1,
+			})
+			if err != nil {
+				t.Fatalf("%v/faults=%d: %v", s, faults, err)
+			}
+			if res.Accepted < 0.035 {
+				t.Errorf("%v/faults=%d: accepted %.3f at offered 0.05", s, faults, res.Accepted)
+			}
+			if res.Deadlocked {
+				t.Errorf("%v/faults=%d: deadlocked", s, faults)
+			}
+		}
+	}
+}
+
+func TestSchemeOrderingAtSaturation(t *testing.T) {
+	// The paper's central performance result: escape VCs saturate below
+	// SPIN and DRAIN, which match each other.
+	sat := map[Scheme]float64{}
+	for _, s := range []Scheme{EscapeVC, SPIN, DRAIN} {
+		res, err := Run(Config{
+			Width: 8, Height: 8,
+			Scheme:  s,
+			Pattern: "uniform", Rate: 0.45,
+			Warmup: 1000, Measure: 4000,
+			Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat[s] = res.Accepted
+	}
+	if !(sat[EscapeVC] < sat[SPIN]) {
+		t.Errorf("escape (%.3f) should saturate below SPIN (%.3f)", sat[EscapeVC], sat[SPIN])
+	}
+	diff := sat[SPIN] - sat[DRAIN]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.02 {
+		t.Errorf("DRAIN (%.3f) should match SPIN (%.3f)", sat[DRAIN], sat[SPIN])
+	}
+}
+
+func TestAllPatternsRun(t *testing.T) {
+	for _, pat := range []string{"uniform", "transpose", "bitcomp", "shuffle", "hotspot"} {
+		res, err := Run(Config{
+			Width: 4, Height: 4, Scheme: DRAIN,
+			Pattern: pat, Rate: 0.03,
+			Warmup: 500, Measure: 2000,
+			Epoch: 2000, Seed: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pat, err)
+		}
+		if res.Accepted <= 0 {
+			t.Errorf("%s: nothing delivered", pat)
+		}
+	}
+}
+
+func TestEveryWorkloadRunsUnderDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload sweep is slow")
+	}
+	for _, wl := range Workloads() {
+		res, err := Run(Config{
+			Width: 4, Height: 4, Scheme: DRAIN,
+			Workload:  wl,
+			OpsTarget: 100, MaxCycles: 1_000_000,
+			Epoch: 4096, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if !res.Completed {
+			t.Errorf("%s did not complete", wl)
+		}
+	}
+}
+
+func TestFaultyCoherentSystemEndToEnd(t *testing.T) {
+	// The paper's full story in one run: irregular faulty topology, one
+	// virtual network, MESI coherence, drains keeping it all live.
+	res, err := Run(Config{
+		Width: 4, Height: 4,
+		Faults: 5, FaultSeed: 23,
+		Scheme: DRAIN, VNets: 1, VCsPerVN: 2,
+		Workload:  "canneal",
+		OpsTarget: 400, MaxCycles: 2_000_000,
+		Epoch: 512, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("faulty 1-VN coherent run did not complete")
+	}
+	if res.Drains == 0 {
+		t.Error("no drains over a long coherent run")
+	}
+}
+
+func TestDeterminismAcrossFacade(t *testing.T) {
+	run := func() Result {
+		res, err := Run(Config{
+			Width: 4, Height: 4, Faults: 2, FaultSeed: 5,
+			Scheme: DRAIN, Pattern: "transpose", Rate: 0.08,
+			Warmup: 500, Measure: 2500, Epoch: 1000, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seeds diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,234 @@
+package coherence
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"drain/internal/topology"
+)
+
+// warmGen exercises prewarming: private-region accesses should hit after
+// install.
+type warmGen struct {
+	testGen
+	lines int64
+}
+
+func (g warmGen) PrewarmLines(core int) []int64 {
+	out := make([]int64, 0, g.lines)
+	for i := int64(0); i < g.lines; i++ {
+		out = append(out, int64(core)<<20+i)
+	}
+	return out
+}
+
+func TestPrewarmInstallsLines(t *testing.T) {
+	m := topology.MustMesh(2, 2)
+	n := protoNet(t, m.Graph, m, 3, 1)
+	g := warmGen{testGen: testGen{issue: 0, private: 64, shared: 16}, lines: 32}
+	sys, err := New(n, Config{Gen: g, L1Lines: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, nd := range sys.nodes {
+		if len(nd.lines) != 32 {
+			t.Fatalf("core %d has %d lines after prewarm, want 32", c, len(nd.lines))
+		}
+		for addr, st := range nd.lines {
+			if st != Exclusive {
+				t.Fatalf("prewarmed line %d in state %d, want Exclusive", addr, st)
+			}
+			dl := sys.nodes[sys.home(addr)].dir[addr]
+			if dl == nil || dl.owner != c || dl.state != Modified {
+				t.Fatalf("directory does not track core %d as owner of %d", c, addr)
+			}
+		}
+	}
+}
+
+func TestPrewarmRespectsCapacity(t *testing.T) {
+	m := topology.MustMesh(2, 2)
+	n := protoNet(t, m.Graph, m, 3, 2)
+	g := warmGen{testGen: testGen{issue: 0, private: 64, shared: 16}, lines: 1000}
+	sys, err := New(n, Config{Gen: g, L1Lines: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prewarm caps at 3/4 of L1 capacity.
+	for c, nd := range sys.nodes {
+		if len(nd.lines) > 48 {
+			t.Fatalf("core %d prewarmed %d lines; cap is 48", c, len(nd.lines))
+		}
+	}
+}
+
+func TestPrewarmedAccessesHit(t *testing.T) {
+	m := topology.MustMesh(2, 2)
+	n := protoNet(t, m.Graph, m, 3, 3)
+	// All-private accesses over a prewarmed region: every access hits.
+	g := warmGen{testGen: testGen{issue: 0.5, private: 32, shared: 16, sharedFrac: 0}, lines: 32}
+	sys, err := New(n, Config{Gen: g, L1Lines: 64, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		n.Step()
+		sys.Tick()
+	}
+	st := sys.Stats()
+	if st.Misses != 0 {
+		t.Errorf("prewarmed private stream missed %d times", st.Misses)
+	}
+	if st.Hits == 0 {
+		t.Error("no hits recorded")
+	}
+	if st.MsgsSent != 0 {
+		t.Errorf("hit-only stream sent %d messages", st.MsgsSent)
+	}
+}
+
+func TestDebugSnapshot(t *testing.T) {
+	m := topology.MustMesh(2, 2)
+	n := protoNet(t, m.Graph, m, 3, 4)
+	sys, err := New(n, Config{
+		Gen:  testGen{issue: 0.5, sharedFrac: 0.5, writeFrac: 0.5, shared: 8, private: 64},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := sys.DebugSnapshot()
+	if empty.PendingMSHRs != 0 || empty.NetPackets != 0 {
+		t.Errorf("fresh system not empty: %+v", empty)
+	}
+	for i := 0; i < 50; i++ {
+		n.Step()
+		sys.Tick()
+	}
+	busy := sys.DebugSnapshot()
+	if busy.PendingMSHRs == 0 && busy.NetPackets == 0 {
+		t.Error("active system shows no in-flight state")
+	}
+}
+
+func TestWriteUpgradeFromShared(t *testing.T) {
+	// Two readers share a line, then one writes: the upgrade must
+	// invalidate the other sharer and end with Modified at the writer.
+	m := topology.MustMesh(2, 2)
+	n := protoNet(t, m.Graph, m, 3, 6)
+	sys, err := New(n, Config{Gen: testGen{issue: 0, private: 4, shared: 4}, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := int64(2) // homed at node 2
+	readAt := func(c int) {
+		nd := sys.nodes[c]
+		nd.mshrs[addr] = &mshr{addr: addr}
+		nd.opsIssued++
+		sys.send(c, sys.home(addr), Msg{Type: GetS, Addr: addr, Requester: c})
+		for i := 0; i < 1000 && nd.lines[addr] == Invalid; i++ {
+			n.Step()
+			sys.Tick()
+		}
+	}
+	readAt(0)
+	settle(t, n, sys)
+	readAt(1)
+	settle(t, n, sys)
+	if sys.nodes[0].lines[addr] != Shared || sys.nodes[1].lines[addr] != Shared {
+		t.Fatalf("states after two reads: %d, %d (want Shared, Shared)",
+			sys.nodes[0].lines[addr], sys.nodes[1].lines[addr])
+	}
+	// Writer at node 1: S→M upgrade via GetM.
+	nd1 := sys.nodes[1]
+	delete(nd1.lines, addr)
+	nd1.mshrs[addr] = &mshr{addr: addr, write: true}
+	nd1.opsIssued++
+	sys.send(1, sys.home(addr), Msg{Type: GetM, Addr: addr, Requester: 1})
+	for i := 0; i < 1000 && nd1.lines[addr] != Modified; i++ {
+		n.Step()
+		sys.Tick()
+	}
+	settle(t, n, sys)
+	if nd1.lines[addr] != Modified {
+		t.Fatal("writer did not reach Modified")
+	}
+	if _, has := sys.nodes[0].lines[addr]; has {
+		t.Error("old sharer not invalidated")
+	}
+	if sys.stats.MsgsByType[Inv] == 0 {
+		t.Error("no invalidation sent for the upgrade")
+	}
+}
+
+func TestStalePutMAfterForward(t *testing.T) {
+	// An owner can evict (PutM) while a FwdGetS races toward it; the
+	// protocol must absorb the stale writeback without wedging.
+	m := topology.MustMesh(2, 2)
+	n := protoNet(t, m.Graph, m, 3, 7)
+	sys, err := New(n, Config{Gen: testGen{issue: 0, private: 4, shared: 4}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := int64(3)
+	// Owner at node 0 (simulate established state).
+	sys.nodes[0].lines[addr] = Modified
+	sys.nodes[sys.home(addr)].dir[addr] = &dirLine{state: Modified, owner: 0, sharers: map[int]bool{}}
+	// Owner writes back at the same time a reader requests.
+	delete(sys.nodes[0].lines, addr)
+	sys.send(0, sys.home(addr), Msg{Type: PutM, Addr: addr, Requester: 0})
+	nd1 := sys.nodes[1]
+	nd1.mshrs[addr] = &mshr{addr: addr}
+	nd1.opsIssued++
+	sys.send(1, sys.home(addr), Msg{Type: GetS, Addr: addr, Requester: 1})
+	for i := 0; i < 2000 && nd1.opsCompleted == 0; i++ {
+		n.Step()
+		sys.Tick()
+	}
+	if nd1.opsCompleted != 1 {
+		t.Fatal("read racing a writeback never completed")
+	}
+	settle(t, n, sys)
+}
+
+func TestMsgClassAndSize(t *testing.T) {
+	classes := map[MsgType]int{
+		GetS: ClassReq, GetM: ClassReq, PutM: ClassReq,
+		Inv: ClassFwd, FwdGetS: ClassFwd, FwdGetM: ClassFwd,
+		Data: ClassResp, InvAck: ClassResp, DirAck: ClassResp,
+		WBAck: ClassResp, Unblock: ClassResp,
+	}
+	for mt, want := range classes {
+		if mt.Class() != want {
+			t.Errorf("%v class = %d, want %d", mt, mt.Class(), want)
+		}
+		if mt.String() == "" {
+			t.Errorf("%v has empty name", mt)
+		}
+	}
+	if Data.Flits() != 5 || PutM.Flits() != 5 {
+		t.Error("data-bearing messages must be 5 flits")
+	}
+	if GetS.Flits() != 1 || Inv.Flits() != 1 || Unblock.Flits() != 1 {
+		t.Error("control messages must be 1 flit")
+	}
+}
+
+func TestHomeDistribution(t *testing.T) {
+	m := topology.MustMesh(4, 4)
+	n := protoNet(t, m.Graph, m, 3, 8)
+	sys, err := New(n, Config{Gen: testGen{issue: 0, private: 4, shared: 4}, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 16)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 16000; i++ {
+		counts[sys.home(rng.Int64N(1<<40))]++
+	}
+	for r, c := range counts {
+		if c < 600 || c > 1400 {
+			t.Errorf("home %d receives %d of 16000 addresses; interleaving skewed", r, c)
+		}
+	}
+}

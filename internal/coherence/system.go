@@ -1,0 +1,630 @@
+package coherence
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"drain/internal/noc"
+)
+
+// LineState is an L1 MESI state.
+type LineState byte
+
+// L1 line states.
+const (
+	Invalid LineState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// AccessGen produces the memory reference stream for one core.
+type AccessGen interface {
+	// Next returns the line address and whether the access is a write.
+	Next(core int, rng *rand.Rand) (addr int64, write bool)
+	// IssueProb is the per-cycle probability that the core issues a
+	// memory access (models compute/memory intensity).
+	IssueProb() float64
+}
+
+// Prewarmer is an optional AccessGen extension: PrewarmLines lists line
+// addresses to install in a core's cache before simulation starts,
+// suppressing the cold-start miss burst that full-system simulators
+// avoid with checkpoint warm-up.
+type Prewarmer interface {
+	PrewarmLines(core int) []int64
+}
+
+// Config parameterizes the coherence system.
+type Config struct {
+	// Gen drives each core's reference stream.
+	Gen AccessGen
+	// MSHRs bounds outstanding misses per core (paper §III-A: MSHRs
+	// bound per-class packet counts, a protocol-deadlock assumption).
+	MSHRs int
+	// L1Lines is the private cache capacity in lines.
+	L1Lines int
+	// OpsTarget ends the run after every core completes this many memory
+	// accesses (0 = run forever; the harness then measures throughput).
+	OpsTarget int64
+	// Seed drives the per-core reference streams.
+	Seed uint64
+}
+
+func (c *Config) setDefaults() {
+	if c.MSHRs <= 0 {
+		c.MSHRs = 4
+	}
+	if c.L1Lines <= 0 {
+		c.L1Lines = 256
+	}
+}
+
+// mshr tracks one outstanding miss.
+type mshr struct {
+	addr      int64
+	write     bool
+	needAcks  int
+	gotAcks   int
+	gotData   bool
+	dataExcl  bool
+	issuedAt  int64
+	completed bool // waiting only to send Unblock / perform fill
+}
+
+// dirLine is the directory's view of one cache line.
+type dirLine struct {
+	state   LineState // Invalid, Shared or Modified (dir-level)
+	owner   int
+	sharers map[int]bool
+	// busy: a transaction is in flight; new requests for the line stall.
+	busy       bool
+	needDirAck bool
+	gotDirAck  bool
+	gotUnblock bool
+}
+
+// node is one core+L1+directory-slice tile.
+type node struct {
+	lines map[int64]LineState
+	mshrs map[int64]*mshr
+	dir   map[int64]*dirLine
+
+	opsIssued    int64
+	opsCompleted int64
+	hits         int64
+	misses       int64
+	blockedCyc   int64 // cycles the core wanted to issue but could not
+}
+
+// Stats aggregates system-level protocol statistics.
+type Stats struct {
+	OpsIssued    int64
+	OpsCompleted int64
+	Hits         int64
+	Misses       int64
+	TxCompleted  int64 // coherence transactions finished (MSHR retired)
+	BlockedCyc   int64
+	MsgsSent     int64
+	MsgsByType   [Unblock + 1]int64
+}
+
+// System couples cores, caches and directories to a network.
+type System struct {
+	cfg   Config
+	net   *noc.Network
+	nodes []*node
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New builds a coherence system over net; the network must be configured
+// with Classes ≥ 3.
+func New(net *noc.Network, cfg Config) (*System, error) {
+	cfg.setDefaults()
+	if net.Config().Classes < NumClasses {
+		return nil, fmt.Errorf("coherence: network has %d classes, need %d", net.Config().Classes, NumClasses)
+	}
+	if cfg.Gen == nil {
+		return nil, fmt.Errorf("coherence: Config.Gen is required")
+	}
+	s := &System{
+		cfg: cfg,
+		net: net,
+		rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5bd1e995)),
+	}
+	for i := 0; i < net.Graph().N(); i++ {
+		s.nodes = append(s.nodes, &node{
+			lines: make(map[int64]LineState),
+			mshrs: make(map[int64]*mshr),
+			dir:   make(map[int64]*dirLine),
+		})
+	}
+	if pw, ok := cfg.Gen.(Prewarmer); ok {
+		s.prewarm(pw)
+	}
+	return s, nil
+}
+
+// prewarm installs lines directly into caches and directories (zero
+// network traffic), leaving a quarter of the L1 free for shared lines.
+func (s *System) prewarm(pw Prewarmer) {
+	limit := s.cfg.L1Lines * 3 / 4
+	for c, nd := range s.nodes {
+		for i, addr := range pw.PrewarmLines(c) {
+			if i >= limit {
+				break
+			}
+			nd.lines[addr] = Exclusive
+			home := s.nodes[s.home(addr)]
+			home.dir[addr] = &dirLine{state: Modified, owner: c, sharers: make(map[int]bool)}
+		}
+	}
+}
+
+// Stats returns a snapshot of system statistics.
+func (s *System) Stats() Stats {
+	st := s.stats
+	for _, nd := range s.nodes {
+		st.OpsIssued += nd.opsIssued
+		st.OpsCompleted += nd.opsCompleted
+		st.Hits += nd.hits
+		st.Misses += nd.misses
+		st.BlockedCyc += nd.blockedCyc
+	}
+	return st
+}
+
+// Done reports whether every core reached OpsTarget.
+func (s *System) Done() bool {
+	if s.cfg.OpsTarget <= 0 {
+		return false
+	}
+	for _, nd := range s.nodes {
+		if nd.opsCompleted < s.cfg.OpsTarget {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot is a diagnostic view of protocol state, for debugging stalls.
+type Snapshot struct {
+	PendingMSHRs   int // outstanding misses across all cores
+	CompletedWait  int // MSHRs finished but waiting for injection capacity
+	BusyDirLines   int // directory lines blocked on Unblock/DirAck
+	InjQueued      int // messages waiting in injection queues
+	EjQueued       int // messages waiting in ejection queues
+	NetPackets     int // everything the network still holds
+	SampleBusyAddr int64
+	SampleMSHRAddr int64
+}
+
+// DebugSnapshot summarizes where in-flight protocol state is stuck.
+func (s *System) DebugSnapshot() Snapshot {
+	var snap Snapshot
+	snap.SampleBusyAddr, snap.SampleMSHRAddr = -1, -1
+	for r, nd := range s.nodes {
+		snap.PendingMSHRs += len(nd.mshrs)
+		for _, ms := range nd.mshrs {
+			if ms.completed {
+				snap.CompletedWait++
+			}
+			snap.SampleMSHRAddr = ms.addr
+		}
+		for addr, dl := range nd.dir {
+			if dl.busy {
+				snap.BusyDirLines++
+				snap.SampleBusyAddr = addr
+			}
+		}
+		for c := 0; c < NumClasses; c++ {
+			snap.InjQueued += s.net.InjQueueLen(r, c)
+			snap.EjQueued += s.net.EjectedLen(r, c)
+		}
+	}
+	snap.NetPackets = s.net.InFlightPackets()
+	return snap
+}
+
+// home returns the directory slice for an address.
+func (s *System) home(addr int64) int {
+	h := int(addr % int64(len(s.nodes)))
+	if h < 0 {
+		h += len(s.nodes)
+	}
+	return h
+}
+
+// send injects a coherence message; the caller must have verified
+// capacity with canSend.
+func (s *System) send(from int, to int, m Msg) {
+	p := s.net.NewPacket(from, to, m.Type.Class(), m.Type.Flits())
+	p.Payload = m
+	if !s.net.Inject(p) {
+		panic(fmt.Sprintf("coherence: injection failed after capacity check (%v)", m))
+	}
+	s.stats.MsgsSent++
+	s.stats.MsgsByType[m.Type]++
+}
+
+// canSend reports whether n more messages of the class fit in node r's
+// injection queue.
+func (s *System) canSend(r, class, n int) bool {
+	cap := s.net.Config().InjectCap
+	if cap == 0 {
+		return true
+	}
+	return s.net.InjQueueLen(r, class)+n <= cap
+}
+
+// Tick advances the protocol by one cycle: consume deliverable messages,
+// then let cores issue. Call once per network cycle (before or after
+// Network.Step; the order only shifts latencies by one cycle).
+func (s *System) Tick() {
+	for r := range s.nodes {
+		s.consumeResponses(r)
+		s.consumeForwards(r)
+		s.consumeRequests(r)
+		s.retryCompletions(r)
+	}
+	for r := range s.nodes {
+		s.coreIssue(r)
+	}
+}
+
+// ---- response handling (pure sink: never needs injection capacity) ----
+
+func (s *System) consumeResponses(r int) {
+	// Responses are always consumable; drain the whole queue (sink class,
+	// paper §III-D2: "the ejection queue of a sink message class can
+	// always be consumed").
+	for {
+		p := s.net.PopEjected(r, ClassResp)
+		if p == nil {
+			return
+		}
+		m := p.Payload.(Msg)
+		switch m.Type {
+		case Data:
+			s.onData(r, m)
+		case InvAck:
+			s.onInvAck(r, m)
+		case DirAck:
+			s.onDirAck(r, m)
+		case Unblock:
+			s.onUnblock(r, m)
+		case WBAck:
+			// Writeback complete; nothing held.
+		default:
+			panic("coherence: unexpected response " + m.Type.String())
+		}
+	}
+}
+
+func (s *System) onData(r int, m Msg) {
+	nd := s.nodes[r]
+	ms := nd.mshrs[m.Addr]
+	if ms == nil {
+		return // stale (transaction raced with writeback); drop
+	}
+	ms.gotData = true
+	ms.dataExcl = m.Excl
+	ms.needAcks = m.Acks
+	s.maybeComplete(r, ms)
+}
+
+func (s *System) onInvAck(r int, m Msg) {
+	nd := s.nodes[r]
+	ms := nd.mshrs[m.Addr]
+	if ms == nil {
+		return
+	}
+	ms.gotAcks++
+	s.maybeComplete(r, ms)
+}
+
+func (s *System) onDirAck(r int, m Msg) {
+	if dl := s.nodes[r].dir[m.Addr]; dl != nil {
+		dl.gotDirAck = true
+		maybeUnblockDir(dl)
+	}
+}
+
+func (s *System) onUnblock(r int, m Msg) {
+	if dl := s.nodes[r].dir[m.Addr]; dl != nil {
+		dl.gotUnblock = true
+		maybeUnblockDir(dl)
+	}
+}
+
+func maybeUnblockDir(dl *dirLine) {
+	if dl.busy && dl.gotUnblock && (!dl.needDirAck || dl.gotDirAck) {
+		dl.busy = false
+		dl.needDirAck = false
+		dl.gotDirAck = false
+		dl.gotUnblock = false
+	}
+}
+
+// maybeComplete retires an MSHR whose data and acks have all arrived.
+// Completion needs injection capacity for the Unblock and possibly a
+// writeback; if unavailable it retries next cycle (retryCompletions).
+func (s *System) maybeComplete(r int, ms *mshr) {
+	if !ms.gotData || ms.gotAcks < ms.needAcks {
+		return
+	}
+	ms.completed = true
+	s.tryFinish(r, ms)
+}
+
+// tryFinish performs the fill + Unblock once capacity allows.
+func (s *System) tryFinish(r int, ms *mshr) bool {
+	nd := s.nodes[r]
+	// Count needed injections: Unblock (resp) always; PutM (req) if the
+	// fill must evict a Modified line.
+	victim, needWB := s.pickVictim(r)
+	respNeeded, reqNeeded := 1, 0
+	if needWB {
+		reqNeeded = 1
+	}
+	if !s.canSend(r, ClassResp, respNeeded) || (reqNeeded > 0 && !s.canSend(r, ClassReq, reqNeeded)) {
+		return false
+	}
+	if needWB {
+		delete(nd.lines, victim)
+		s.send(r, s.home(victim), Msg{Type: PutM, Addr: victim, Requester: r})
+	} else if victim >= 0 {
+		delete(nd.lines, victim) // silent S/E eviction
+	}
+	if ms.write {
+		nd.lines[ms.addr] = Modified
+	} else if ms.dataExcl {
+		nd.lines[ms.addr] = Exclusive
+	} else {
+		nd.lines[ms.addr] = Shared
+	}
+	s.send(r, s.home(ms.addr), Msg{Type: Unblock, Addr: ms.addr, Requester: r})
+	delete(nd.mshrs, ms.addr)
+	nd.opsCompleted++
+	s.stats.TxCompleted++
+	return true
+}
+
+// pickVictim chooses an eviction victim if the L1 is full; returns
+// (-1,false) when no eviction is needed.
+func (s *System) pickVictim(r int) (int64, bool) {
+	nd := s.nodes[r]
+	if len(nd.lines) < s.cfg.L1Lines {
+		return -1, false
+	}
+	// Random replacement: deterministic iteration order is not guaranteed
+	// by Go maps, so pick via reservoir sampling with the system RNG.
+	var victim int64
+	i := 0
+	for a := range nd.lines {
+		if s.rng.IntN(i+1) == 0 {
+			victim = a
+		}
+		i++
+	}
+	return victim, nd.lines[victim] == Modified
+}
+
+// retryCompletions re-attempts fills blocked on injection capacity.
+func (s *System) retryCompletions(r int) {
+	nd := s.nodes[r]
+	for _, ms := range nd.mshrs {
+		if ms.completed {
+			s.tryFinish(r, ms)
+		}
+	}
+}
+
+// ---- forward handling (consuming injects responses) ----
+
+func (s *System) consumeForwards(r int) {
+	nd := s.nodes[r]
+	for {
+		p := s.net.PeekEjected(r, ClassFwd)
+		if p == nil {
+			return
+		}
+		m := p.Payload.(Msg)
+		switch m.Type {
+		case Inv:
+			if !s.canSend(r, ClassResp, 1) {
+				return // stall: ack does not fit
+			}
+			s.net.PopEjected(r, ClassFwd)
+			delete(nd.lines, m.Addr)
+			s.send(r, m.Requester, Msg{Type: InvAck, Addr: m.Addr, Requester: m.Requester})
+		case FwdGetS, FwdGetM:
+			// Owner supplies Data to the requester and acknowledges the
+			// directory: two responses.
+			if !s.canSend(r, ClassResp, 2) {
+				return
+			}
+			s.net.PopEjected(r, ClassFwd)
+			if m.Type == FwdGetS {
+				nd.lines[m.Addr] = Shared
+			} else {
+				delete(nd.lines, m.Addr)
+			}
+			s.send(r, m.Requester, Msg{Type: Data, Addr: m.Addr, Requester: m.Requester})
+			s.send(r, s.home(m.Addr), Msg{Type: DirAck, Addr: m.Addr, Requester: m.Requester})
+		default:
+			panic("coherence: unexpected forward " + m.Type.String())
+		}
+	}
+}
+
+// ---- request handling at the directory ----
+
+func (s *System) consumeRequests(r int) {
+	nd := s.nodes[r]
+	for {
+		p := s.net.PeekEjected(r, ClassReq)
+		if p == nil {
+			return
+		}
+		m := p.Payload.(Msg)
+		dl := nd.dir[m.Addr]
+		if dl == nil {
+			dl = &dirLine{state: Invalid, sharers: make(map[int]bool)}
+			nd.dir[m.Addr] = dl
+		}
+		if m.Type != PutM && dl.busy {
+			return // head-of-line stall until Unblock arrives
+		}
+		if !s.processRequest(r, m, dl) {
+			return // injection capacity stall
+		}
+		s.net.PopEjected(r, ClassReq)
+	}
+}
+
+// processRequest applies one directory request; returns false when
+// injection capacity is insufficient (leave the message queued).
+func (s *System) processRequest(r int, m Msg, dl *dirLine) bool {
+	c := m.Requester
+	switch m.Type {
+	case GetS:
+		switch dl.state {
+		case Invalid, Shared:
+			if !s.canSend(r, ClassResp, 1) {
+				return false
+			}
+			excl := dl.state == Invalid
+			s.send(r, c, Msg{Type: Data, Addr: m.Addr, Requester: c, Excl: excl})
+			if excl {
+				dl.state = Modified // E at the core: dir tracks as owned
+				dl.owner = c
+			} else {
+				dl.sharers[c] = true
+			}
+			dl.busy, dl.gotUnblock = true, false
+		case Modified:
+			if dl.owner == c {
+				// Requester already owns it (stale request after silent
+				// upgrade); just complete it.
+				if !s.canSend(r, ClassResp, 1) {
+					return false
+				}
+				s.send(r, c, Msg{Type: Data, Addr: m.Addr, Requester: c, Excl: true})
+				dl.busy, dl.gotUnblock = true, false
+				return true
+			}
+			if !s.canSend(r, ClassFwd, 1) {
+				return false
+			}
+			s.send(r, dl.owner, Msg{Type: FwdGetS, Addr: m.Addr, Requester: c})
+			dl.state = Shared
+			dl.sharers[dl.owner] = true
+			dl.sharers[c] = true
+			dl.owner = -1
+			dl.busy, dl.needDirAck, dl.gotDirAck, dl.gotUnblock = true, true, false, false
+		}
+	case GetM:
+		switch dl.state {
+		case Invalid:
+			if !s.canSend(r, ClassResp, 1) {
+				return false
+			}
+			s.send(r, c, Msg{Type: Data, Addr: m.Addr, Requester: c, Excl: true})
+			dl.state, dl.owner = Modified, c
+			dl.busy, dl.gotUnblock = true, false
+		case Shared:
+			invs := 0
+			for sh := range dl.sharers {
+				if sh != c {
+					invs++
+				}
+			}
+			if !s.canSend(r, ClassResp, 1) || !s.canSend(r, ClassFwd, invs) {
+				return false
+			}
+			for sh := range dl.sharers {
+				if sh != c {
+					s.send(r, sh, Msg{Type: Inv, Addr: m.Addr, Requester: c})
+				}
+			}
+			s.send(r, c, Msg{Type: Data, Addr: m.Addr, Requester: c, Acks: invs, Excl: true})
+			dl.sharers = make(map[int]bool)
+			dl.state, dl.owner = Modified, c
+			dl.busy, dl.gotUnblock = true, false
+		case Modified:
+			if dl.owner == c {
+				if !s.canSend(r, ClassResp, 1) {
+					return false
+				}
+				s.send(r, c, Msg{Type: Data, Addr: m.Addr, Requester: c, Excl: true})
+				dl.busy, dl.gotUnblock = true, false
+				return true
+			}
+			if !s.canSend(r, ClassFwd, 1) {
+				return false
+			}
+			s.send(r, dl.owner, Msg{Type: FwdGetM, Addr: m.Addr, Requester: c})
+			dl.owner = c
+			dl.busy, dl.needDirAck, dl.gotDirAck, dl.gotUnblock = true, true, false, false
+		}
+	case PutM:
+		if !s.canSend(r, ClassResp, 1) {
+			return false
+		}
+		if dl.state == Modified && dl.owner == c && !dl.busy {
+			dl.state = Invalid
+			dl.owner = -1
+		}
+		s.send(r, c, Msg{Type: WBAck, Addr: m.Addr, Requester: c})
+	default:
+		panic("coherence: unexpected request " + m.Type.String())
+	}
+	return true
+}
+
+// ---- core issue ----
+
+func (s *System) coreIssue(r int) {
+	nd := s.nodes[r]
+	if s.cfg.OpsTarget > 0 && nd.opsIssued >= s.cfg.OpsTarget {
+		return
+	}
+	if s.rng.Float64() >= s.cfg.Gen.IssueProb() {
+		return
+	}
+	addr, write := s.cfg.Gen.Next(r, s.rng)
+	st, ok := nd.lines[addr]
+	if ok && (!write && st != Invalid || write && (st == Exclusive || st == Modified)) {
+		// Hit. E→M upgrade on write is silent at the L1.
+		if write {
+			nd.lines[addr] = Modified
+		}
+		nd.hits++
+		nd.opsIssued++
+		nd.opsCompleted++
+		return
+	}
+	if write && st == Shared {
+		delete(nd.lines, addr) // upgrade handled as a fresh GetM below
+	}
+	// Miss: need an MSHR and request injection capacity.
+	if _, pending := nd.mshrs[addr]; pending {
+		nd.blockedCyc++
+		return
+	}
+	if len(nd.mshrs) >= s.cfg.MSHRs || !s.canSend(r, ClassReq, 1) {
+		nd.blockedCyc++
+		return
+	}
+	ms := &mshr{addr: addr, write: write, issuedAt: s.net.Cycle()}
+	nd.mshrs[addr] = ms
+	nd.opsIssued++
+	nd.misses++
+	t := GetS
+	if write {
+		t = GetM
+	}
+	s.send(r, s.home(addr), Msg{Type: t, Addr: addr, Requester: r})
+}

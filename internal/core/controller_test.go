@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"drain/internal/topology"
+)
+
+func TestDrainWindowChargesFreeze(t *testing.T) {
+	n := drainNet(t, topology.MustMesh(3, 3).Graph, 2, 10)
+	c, err := New(n, Config{Epoch: 50, PreDrain: 3, DrainWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive exactly through the first drain: the network must be frozen
+	// for pre-drain + drain window and then released.
+	frozenSpan := 0
+	for i := 0; i < 200; i++ {
+		n.Step()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if n.Frozen() {
+			frozenSpan++
+		}
+		if c.Stats().Drains == 1 && !n.Frozen() {
+			break
+		}
+	}
+	if c.Stats().Drains != 1 {
+		t.Fatalf("drains = %d, want 1", c.Stats().Drains)
+	}
+	// PreDrain(3) + DrainWindow(4) ± scheduling boundaries.
+	if frozenSpan < 6 || frozenSpan > 10 {
+		t.Errorf("frozen for %d cycles, want ≈7", frozenSpan)
+	}
+	if n.Frozen() {
+		t.Error("network left frozen after the window")
+	}
+}
+
+func TestMultiHopDrainWindow(t *testing.T) {
+	g := topology.MustMesh(3, 3).Graph
+	n := drainNet(t, g, 2, 11)
+	c, err := New(n, Config{Epoch: 100, DrainHops: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a packet in an escape buffer so the multi-hop drain has
+	// something to move, and freeze the network so normal allocation
+	// cannot deliver it before the window fires.
+	p, err := n.PlacePacket(0, 1, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetFrozen(true)
+	for i := 0; i < 300 && c.Stats().Drains == 0; i++ {
+		n.Step()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Stats().Drains != 1 {
+		t.Fatal("no drain happened")
+	}
+	// The packet moved up to 3 forced hops (fewer only if it ejected).
+	if p.DrainHops == 0 && p.EjectedAt == 0 {
+		t.Error("multi-hop drain moved nothing")
+	}
+	if st := c.Stats(); st.PacketsMoved == 0 && st.Ejections == 0 {
+		t.Errorf("stats recorded no movement: %+v", st)
+	}
+}
+
+func TestExtendedPreDrainWhenNotQuiesced(t *testing.T) {
+	// A PreDrain shorter than the largest packet forces the controller
+	// to extend the freeze instead of corrupting the rotation.
+	g := topology.MustMesh(4, 1).Graph
+	n := drainNet(t, g, 2, 12)
+	c, err := New(n, Config{Epoch: 30, PreDrain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep 5-flit packets flowing so a transfer is usually in flight
+	// when the epoch expires.
+	for i := 0; i < 2000; i++ {
+		if i%3 == 0 {
+			src := i % 4
+			dst := (i + 2) % 4
+			if src != dst && n.InjQueueLen(src, 0) < 2 {
+				n.Inject(n.NewPacket(src, dst, 0, 5))
+			}
+		}
+		n.Step()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err) // would be ErrNotQuiesced without the extension
+		}
+		for r := 0; r < 4; r++ {
+			n.PopEjected(r, 0)
+		}
+	}
+	if c.Stats().Drains == 0 {
+		t.Error("no drains with a 30-cycle epoch")
+	}
+}
+
+func TestPathSearchAlgorithmOnFaultyTopology(t *testing.T) {
+	g, err := topology.MustMesh(4, 4).WithoutEdge(5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := drainNet(t, g, 2, 13)
+	c, err := New(n, Config{Algorithm: PathSearch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Path().Len() != g.NumLinks() {
+		t.Errorf("search path covers %d of %d links", c.Path().Len(), g.NumLinks())
+	}
+}

@@ -1,0 +1,235 @@
+// Package core implements DRAIN itself (paper §III): the subactive
+// deadlock-removal controller that periodically freezes credit
+// allocation (pre-drain), forces every escape-VC packet one hop along a
+// statically computed drain path (drain window), and occasionally runs a
+// full drain as a livelock guard.
+//
+// The controller is the software model of the three microarchitectural
+// additions in the paper's Fig. 7: the epoch register (when to drain),
+// the credit freeze (pre-drain), and the per-router turn-table (where to
+// drain, derived from the offline drain path of internal/drainpath).
+package core
+
+import (
+	"fmt"
+
+	"drain/internal/drainpath"
+	"drain/internal/noc"
+)
+
+// PathAlgorithm selects how the offline drain path is computed.
+type PathAlgorithm int
+
+const (
+	// PathEulerian uses Hierholzer's construction (fast default).
+	PathEulerian PathAlgorithm = iota
+	// PathSearch uses the paper's early-terminating elementary-cycle
+	// search over the link-dependency graph.
+	PathSearch
+)
+
+// Config parameterizes the DRAIN controller. Zero fields take the
+// paper's defaults.
+type Config struct {
+	// Epoch is the number of cycles between drain windows (paper
+	// default: 64K cycles; Fig. 14 sweeps 16…64K).
+	Epoch int64
+	// PreDrain is the credit-freeze length in cycles before each drain;
+	// it must cover the largest packet's serialization so the network
+	// quiesces (paper: 5 cycles = max packet size).
+	PreDrain int
+	// DrainWindow is the cycles charged for each forced hop (link
+	// serialization of the drained packets).
+	DrainWindow int
+	// DrainHops is the number of forced hops per drain window. The paper
+	// (footnote 3) finds 1 always best; >1 is exposed for the ablation.
+	DrainHops int
+	// FullDrainEvery runs a full drain every N drain windows (paper:
+	// "once every N drain windows, for very large N").
+	FullDrainEvery int
+	// Algorithm selects the offline path construction.
+	Algorithm PathAlgorithm
+}
+
+func (c *Config) setDefaults(maxFlits int) {
+	if c.Epoch <= 0 {
+		c.Epoch = 64 * 1024
+	}
+	if c.PreDrain <= 0 {
+		c.PreDrain = maxFlits
+	}
+	if c.DrainWindow <= 0 {
+		c.DrainWindow = maxFlits
+	}
+	if c.DrainHops <= 0 {
+		c.DrainHops = 1
+	}
+	if c.FullDrainEvery <= 0 {
+		c.FullDrainEvery = 1024
+	}
+}
+
+// Stats reports controller activity.
+type Stats struct {
+	Drains       int64 // drain windows executed
+	FullDrains   int64 // full drains executed
+	PacketsMoved int64 // packet-hops forced by drains
+	Ejections    int64 // packets ejected during drains
+	FrozenCycles int64 // cycles the network spent frozen
+}
+
+// controller state machine phases.
+type phase int
+
+const (
+	phaseRunning phase = iota
+	phasePreDrain
+	phaseDraining
+)
+
+// Controller drives DRAIN over a network. Call Tick exactly once per
+// cycle, after Network.Step.
+type Controller struct {
+	cfg  Config
+	net  *noc.Network
+	path *drainpath.Path
+	next []int // turn-table: next[linkID] = successor link
+
+	phase       phase
+	nextDrainAt int64
+	phaseEndsAt int64
+	drainCount  int64
+
+	stats Stats
+}
+
+// New computes the drain path for the network's topology and returns a
+// ready controller. The first drain window fires one epoch from now.
+func New(net *noc.Network, cfg Config) (*Controller, error) {
+	cfg.setDefaults(net.Config().MaxFlits)
+	var (
+		p   *drainpath.Path
+		err error
+	)
+	switch cfg.Algorithm {
+	case PathEulerian:
+		p, err = drainpath.FindEulerian(net.Graph())
+	case PathSearch:
+		p, err = drainpath.FindCoveringCycle(net.Graph(), 0)
+	default:
+		err = fmt.Errorf("core: unknown path algorithm %d", cfg.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	g := net.Graph()
+	next := make([]int, g.NumLinks())
+	for id := range next {
+		next[id] = p.NextID(id)
+	}
+	return &Controller{
+		cfg:         cfg,
+		net:         net,
+		path:        p,
+		next:        next,
+		nextDrainAt: net.Cycle() + cfg.Epoch,
+	}, nil
+}
+
+// Path returns the drain path in use.
+func (c *Controller) Path() *drainpath.Path { return c.path }
+
+// Stats returns a snapshot of controller activity.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Config returns the defaulted configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Draining reports whether the network is currently frozen by the
+// controller (pre-drain or drain window in progress).
+func (c *Controller) Draining() bool { return c.phase != phaseRunning }
+
+// Tick advances the controller's epoch state machine by one cycle.
+func (c *Controller) Tick() error {
+	now := c.net.Cycle()
+	switch c.phase {
+	case phaseRunning:
+		if now >= c.nextDrainAt {
+			// Epoch register hit zero: freeze credits (pre-drain window).
+			c.net.SetFrozen(true)
+			c.phase = phasePreDrain
+			c.phaseEndsAt = now + int64(c.cfg.PreDrain)
+		}
+	case phasePreDrain:
+		if now < c.phaseEndsAt {
+			c.stats.FrozenCycles++
+			return nil
+		}
+		if c.net.InflightCount() > 0 {
+			// A transfer longer than PreDrain is still landing; extend
+			// the freeze rather than corrupt the rotation.
+			c.stats.FrozenCycles++
+			return nil
+		}
+		if err := c.drainNow(); err != nil {
+			return err
+		}
+		c.phase = phaseDraining
+		c.stats.FrozenCycles++
+	case phaseDraining:
+		if now >= c.phaseEndsAt {
+			c.net.SetFrozen(false)
+			c.phase = phaseRunning
+			c.nextDrainAt = now + c.cfg.Epoch
+			return nil
+		}
+		c.stats.FrozenCycles++
+	}
+	return nil
+}
+
+// drainNow performs the rotation(s) for this drain window and sets the
+// window's end time.
+func (c *Controller) drainNow() error {
+	c.drainCount++
+	c.stats.Drains++
+	c.net.Counters.Drains++
+	hops := c.cfg.DrainHops
+	full := c.drainCount%int64(c.cfg.FullDrainEvery) == 0
+	if full {
+		c.stats.FullDrains++
+		c.net.Counters.FullDrains++
+		hops = c.path.Len()
+	}
+	moved := 0
+	for h := 0; h < hops; h++ {
+		rep, err := c.net.DrainRotate(c.next)
+		if err != nil {
+			return fmt.Errorf("core: drain window failed: %w", err)
+		}
+		c.stats.PacketsMoved += int64(rep.Moved)
+		c.stats.Ejections += int64(rep.Ejected)
+		moved = rep.Moved
+		if moved == 0 {
+			break // escape VCs empty; no need to keep rotating
+		}
+	}
+	// Charge serialization time for the forced hops actually performed.
+	c.phaseEndsAt = c.net.Cycle() + int64(c.cfg.DrainWindow)
+	if full {
+		c.phaseEndsAt = c.net.Cycle() + int64(c.cfg.DrainWindow*c.path.Len())
+	} else if c.cfg.DrainHops > 1 {
+		c.phaseEndsAt = c.net.Cycle() + int64(c.cfg.DrainWindow*c.cfg.DrainHops)
+	}
+	return nil
+}
+
+// MinSafeEpoch returns a lower bound for the epoch so misrouted packets
+// can reach their destinations between drains (paper §III-D3: no less
+// than the expected worst-case packet latency, proportional to the
+// network diameter).
+func MinSafeEpoch(net *noc.Network) int64 {
+	d := int64(net.Graph().Diameter())
+	perHop := int64(net.Config().MaxFlits + net.Config().RouterLatency)
+	return 2 * d * perHop
+}

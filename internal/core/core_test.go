@@ -1,0 +1,263 @@
+package core
+
+import (
+	"testing"
+
+	"drain/internal/noc"
+	"drain/internal/routing"
+	"drain/internal/topology"
+)
+
+// drainNet builds a DRAIN-configured network: 1 VN, escape policy with an
+// unrestricted escape VC, fully adaptive routing.
+func drainNet(t *testing.T, g *topology.Graph, vcs int, seed uint64) *noc.Network {
+	t.Helper()
+	n, err := noc.New(noc.Config{
+		Graph:         g,
+		VNets:         1,
+		VCsPerVN:      vcs,
+		Classes:       1,
+		PolicyEscape:  true,
+		Routing:       routing.AdaptiveMinimal,
+		EscapeRouting: routing.AdaptiveMinimal,
+		DerouteAfter:  -1, // strict minimal: drains alone must resolve deadlocks
+		Seed:          seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestControllerDefaults(t *testing.T) {
+	n := drainNet(t, topology.MustMesh(3, 3).Graph, 2, 1)
+	c, err := New(n, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Config()
+	if cfg.Epoch != 64*1024 {
+		t.Errorf("epoch = %d, want 64K", cfg.Epoch)
+	}
+	if cfg.PreDrain != n.Config().MaxFlits {
+		t.Errorf("predrain = %d, want %d", cfg.PreDrain, n.Config().MaxFlits)
+	}
+	if cfg.DrainHops != 1 || cfg.FullDrainEvery != 1024 {
+		t.Error("unexpected defaults")
+	}
+}
+
+func TestBothPathAlgorithms(t *testing.T) {
+	g := topology.MustMesh(3, 3).Graph
+	for _, alg := range []PathAlgorithm{PathEulerian, PathSearch} {
+		n := drainNet(t, g, 2, 2)
+		c, err := New(n, Config{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("alg %d: %v", alg, err)
+		}
+		if c.Path().Len() != g.NumLinks() {
+			t.Fatalf("alg %d: path misses links", alg)
+		}
+	}
+	n := drainNet(t, g, 2, 2)
+	if _, err := New(n, Config{Algorithm: PathAlgorithm(99)}); err == nil {
+		t.Error("bad algorithm should fail")
+	}
+}
+
+func TestEpochScheduling(t *testing.T) {
+	n := drainNet(t, topology.MustMesh(3, 3).Graph, 2, 3)
+	c, err := New(n, Config{Epoch: 100, PreDrain: 5, DrainWindow: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		n.Step()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1000 cycles / (100 epoch + ~10 window) ≈ 9 drains.
+	st := c.Stats()
+	if st.Drains < 7 || st.Drains > 10 {
+		t.Errorf("drains = %d, want ≈9", st.Drains)
+	}
+	if st.FrozenCycles == 0 {
+		t.Error("no frozen cycles recorded")
+	}
+	if n.Frozen() && c.Draining() == false {
+		t.Error("network left frozen outside a drain")
+	}
+}
+
+func TestFullDrainScheduling(t *testing.T) {
+	n := drainNet(t, topology.MustMesh(2, 2).Graph, 2, 4)
+	c, err := New(n, Config{Epoch: 50, FullDrainEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		n.Step()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Drains < 6 {
+		t.Fatalf("too few drains: %d", st.Drains)
+	}
+	wantFull := st.Drains / 3
+	if st.FullDrains < wantFull-1 || st.FullDrains > wantFull+1 {
+		t.Errorf("full drains = %d, want ≈%d of %d", st.FullDrains, wantFull, st.Drains)
+	}
+}
+
+// TestDrainResolvesSaturationDeadlock is the core end-to-end property:
+// an unprotected adaptive network that deadlocks under saturation makes
+// continuous forward progress once the DRAIN controller runs.
+func TestDrainResolvesSaturationDeadlock(t *testing.T) {
+	g := topology.MustMesh(4, 4).Graph
+	n := drainNet(t, g, 1, 5) // single VC: maximally deadlock-prone
+	c, err := New(n, Config{Epoch: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := func(cyc, r int) int {
+		d := (r*7 + cyc*13 + 5) % 16
+		if d == r {
+			d = (d + 1) % 16
+		}
+		return d
+	}
+	const horizon = 30000
+	created, delivered := 0, 0
+	lastDelivered, lastProgress := 0, 0
+	for cyc := 0; cyc < horizon; cyc++ {
+		for r := 0; r < 16; r++ {
+			if n.CanInject(r, 0) && n.InjQueueLen(r, 0) < 4 {
+				if n.Inject(n.NewPacket(r, dst(cyc, r), 0, 1)) {
+					created++
+				}
+			}
+		}
+		n.Step()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 16; r++ {
+			for p := n.PopEjected(r, 0); p != nil; p = n.PopEjected(r, 0) {
+				delivered++
+			}
+		}
+		if delivered > lastDelivered {
+			lastDelivered, lastProgress = delivered, cyc
+		}
+		if cyc-lastProgress > 5000 {
+			t.Fatalf("no delivery progress for 5000 cycles at cycle %d (delivered %d/%d)", cyc, delivered, created)
+		}
+	}
+	if delivered < created/2 {
+		t.Errorf("delivered only %d of %d packets", delivered, created)
+	}
+	if c.Stats().Drains == 0 {
+		t.Error("controller never drained")
+	}
+}
+
+// TestDrainResolvesDeadlockOnFaultyTopology exercises the paper's
+// headline use case: irregular faulty topologies with fully adaptive
+// routing.
+func TestDrainResolvesDeadlockOnFaultyTopology(t *testing.T) {
+	base := topology.MustMesh(4, 4).Graph
+	g := base
+	// Remove two specific edges to make the topology irregular.
+	for _, e := range [][2]int{{5, 6}, {9, 13}} {
+		var err error
+		g, err = g.WithoutEdge(e[0], e[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := drainNet(t, g, 1, 6)
+	c, err := New(n, Config{Epoch: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	created, delivered := 0, 0
+	for cyc := 0; cyc < 20000; cyc++ {
+		for r := 0; r < 16; r++ {
+			d := (r*11 + cyc*3 + 7) % 16
+			if d != r && n.InjQueueLen(r, 0) < 2 {
+				if n.Inject(n.NewPacket(r, d, 0, 1)) {
+					created++
+				}
+			}
+		}
+		n.Step()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 16; r++ {
+			for p := n.PopEjected(r, 0); p != nil; p = n.PopEjected(r, 0) {
+				delivered++
+			}
+		}
+	}
+	if delivered == 0 || delivered < created/2 {
+		t.Errorf("delivered %d of %d on faulty topology", delivered, created)
+	}
+}
+
+func TestMinSafeEpoch(t *testing.T) {
+	n := drainNet(t, topology.MustMesh(8, 8).Graph, 2, 7)
+	e := MinSafeEpoch(n)
+	// Diameter 14, per-hop 6 → 168; twice that = 336.
+	if e != 2*14*6 {
+		t.Errorf("MinSafeEpoch = %d, want %d", e, 2*14*6)
+	}
+}
+
+// TestDrainPreservesPackets: no packet is ever lost or duplicated across
+// many drain windows under load.
+func TestDrainPreservesPackets(t *testing.T) {
+	g := topology.MustMesh(3, 3).Graph
+	n := drainNet(t, g, 2, 8)
+	c, err := New(n, Config{Epoch: 64}) // aggressive draining
+	if err != nil {
+		t.Fatal(err)
+	}
+	created, delivered := 0, 0
+	seen := map[int64]bool{}
+	for cyc := 0; cyc < 8000; cyc++ {
+		if created < 500 {
+			r := cyc % 9
+			d := (cyc*5 + 3) % 9
+			if d != r && n.Inject(n.NewPacket(r, d, 0, 5)) {
+				created++
+			}
+		}
+		n.Step()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 9; r++ {
+			for p := n.PopEjected(r, 0); p != nil; p = n.PopEjected(r, 0) {
+				if seen[p.ID] {
+					t.Fatalf("packet %d delivered twice", p.ID)
+				}
+				seen[p.ID] = true
+				if p.Dst != r {
+					t.Fatalf("packet %d misdelivered to %d (dst %d)", p.ID, r, p.Dst)
+				}
+				delivered++
+			}
+		}
+		if err := n.CheckInvariants(); err != nil {
+			t.Fatalf("cycle %d: %v", cyc, err)
+		}
+	}
+	if delivered != created {
+		t.Errorf("delivered %d of %d with aggressive drains (in flight: %d)",
+			delivered, created, n.InFlightPackets())
+	}
+}

@@ -1,0 +1,243 @@
+package drainpath
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"drain/internal/topology"
+)
+
+func testRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^0xdeadbeef)) }
+
+func TestFindEulerianOnMesh(t *testing.T) {
+	for _, dims := range [][2]int{{2, 2}, {3, 3}, {4, 4}, {8, 8}, {5, 3}} {
+		g := topology.MustMesh(dims[0], dims[1]).Graph
+		p, err := FindEulerian(g)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", dims[0], dims[1], err)
+		}
+		if err := Validate(g, p); err != nil {
+			t.Fatalf("%dx%d: %v", dims[0], dims[1], err)
+		}
+		if p.Len() != g.NumLinks() {
+			t.Fatalf("%dx%d: path length %d, want %d", dims[0], dims[1], p.Len(), g.NumLinks())
+		}
+	}
+}
+
+func TestFindEulerianOnFaultyMesh(t *testing.T) {
+	rng := testRNG(7)
+	base := topology.MustMesh(8, 8).Graph
+	for _, faults := range []int{1, 4, 8, 12} {
+		g, err := topology.RemoveRandomLinks(base, faults, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := FindEulerian(g)
+		if err != nil {
+			t.Fatalf("faults=%d: %v", faults, err)
+		}
+		if err := Validate(g, p); err != nil {
+			t.Fatalf("faults=%d: %v", faults, err)
+		}
+	}
+}
+
+func TestFindCoveringCycleMatchesEulerOnSmallTopologies(t *testing.T) {
+	cases := []*topology.Graph{
+		topology.MustMesh(2, 2).Graph,
+		topology.MustMesh(3, 3).Graph,
+		topology.MustMesh(4, 4).Graph,
+		mustRing(t, 6),
+	}
+	for i, g := range cases {
+		p, err := FindCoveringCycle(g, 0)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if err := Validate(g, p); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+func mustRing(t *testing.T, n int) *topology.Graph {
+	t.Helper()
+	g, err := topology.NewRing(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFindCoveringCycleFigure6Topologies(t *testing.T) {
+	// Paper Fig. 6 shows the algorithm's output on an irregular and a
+	// regular topology; reproduce on a faulty 3x3 and a regular 4x4.
+	g3, err := topology.MustMesh(3, 3).WithoutEdge(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*topology.Graph{g3, topology.MustMesh(4, 4).Graph} {
+		p, err := FindCoveringCycle(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(g, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNextIsPermutationCycle(t *testing.T) {
+	g := topology.MustMesh(4, 4).Graph
+	p, err := FindEulerian(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Following Next from link 0 must traverse every link once and return.
+	seen := make(map[int]bool, g.NumLinks())
+	id := p.Seq[0].ID
+	for i := 0; i < g.NumLinks(); i++ {
+		if seen[id] {
+			t.Fatalf("link %d revisited after %d steps", id, i)
+		}
+		seen[id] = true
+		nxt := p.Next(id)
+		if nxt.From != g.Link(id).To {
+			t.Fatalf("turn from %v to %v is not at a shared router", g.Link(id), nxt)
+		}
+		id = nxt.ID
+	}
+	if id != p.Seq[0].ID {
+		t.Fatalf("cycle did not close: ended at %d", id)
+	}
+}
+
+func TestTurnTable(t *testing.T) {
+	g := topology.MustMesh(3, 3).Graph
+	p, err := FindEulerian(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := p.TurnTable(g)
+	entries := 0
+	for r, tab := range tables {
+		ins, outs := tab[0], tab[1]
+		if len(ins) != len(outs) {
+			t.Fatalf("router %d: %d inputs vs %d outputs", r, len(ins), len(outs))
+		}
+		for i := range ins {
+			in, out := g.Link(ins[i]), g.Link(outs[i])
+			if in.To != r {
+				t.Fatalf("router %d: input link %v does not end here", r, in)
+			}
+			if out.From != r {
+				t.Fatalf("router %d: output link %v does not start here", r, out)
+			}
+			if p.NextID(in.ID) != out.ID {
+				t.Fatalf("router %d: table disagrees with path", r)
+			}
+		}
+		entries += len(ins)
+	}
+	if entries != g.NumLinks() {
+		t.Fatalf("turn tables hold %d entries, want %d", entries, g.NumLinks())
+	}
+}
+
+func TestValidateRejectsBadPaths(t *testing.T) {
+	g := topology.MustMesh(2, 2).Graph
+	p, err := FindEulerian(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, nil); err == nil {
+		t.Error("nil path should fail")
+	}
+	short := &Path{Seq: p.Seq[:2]}
+	if err := Validate(g, short); err == nil {
+		t.Error("short path should fail")
+	}
+	// A path valid for one topology must fail on another.
+	other := topology.MustMesh(3, 3).Graph
+	if err := Validate(other, p); err == nil {
+		t.Error("path for wrong topology should fail")
+	}
+}
+
+func TestDisconnectedAndEmptyTopologies(t *testing.T) {
+	lonely := topology.MustNew(1, nil)
+	if _, err := FindEulerian(lonely); err == nil {
+		t.Error("no-link topology should fail")
+	}
+	disc := topology.MustNew(4, []topology.Edge{{A: 0, B: 1}, {A: 2, B: 3}})
+	if _, err := FindEulerian(disc); err == nil {
+		t.Error("disconnected topology should fail")
+	}
+	if _, err := FindCoveringCycle(disc, 0); err == nil {
+		t.Error("disconnected topology should fail for search too")
+	}
+}
+
+func TestSearchBudgetExhaustion(t *testing.T) {
+	g := topology.MustMesh(4, 4).Graph
+	if _, err := FindCoveringCycle(g, 1); err == nil {
+		t.Error("tiny budget should exhaust")
+	}
+}
+
+// Property: both constructions produce valid drain paths on arbitrary
+// random connected topologies, including after random fault injection.
+func TestDrainPathProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, extraRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		extra := int(extraRaw % 15)
+		g, err := topology.NewRandomConnected(n, extra, testRNG(seed))
+		if err != nil {
+			return false
+		}
+		pe, err := FindEulerian(g)
+		if err != nil || Validate(g, pe) != nil {
+			return false
+		}
+		ps, err := FindCoveringCycle(g, 0)
+		if err != nil || Validate(g, ps) != nil {
+			return false
+		}
+		return pe.Len() == g.NumLinks() && ps.Len() == g.NumLinks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the drain path visits every router at least once (needed for
+// the protocol-level deadlock-freedom proof, paper §III-D2).
+func TestDrainPathVisitsAllRouters(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		g, err := topology.NewRandomConnected(n, 5, testRNG(seed))
+		if err != nil {
+			return false
+		}
+		p, err := FindEulerian(g)
+		if err != nil {
+			return false
+		}
+		visited := make([]bool, g.N())
+		for _, l := range p.Seq {
+			visited[l.From] = true
+			visited[l.To] = true
+		}
+		for _, v := range visited {
+			if !v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

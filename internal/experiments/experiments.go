@@ -1,0 +1,96 @@
+// Package experiments regenerates every table and figure of the DRAIN
+// paper's evaluation (see DESIGN.md §4 for the experiment index). Each
+// experiment is a pure function of (Scale, seed) producing markdown-
+// renderable tables; cmd/experiments and the root benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scale selects the experiment size.
+type Scale int
+
+// Scales.
+const (
+	// Quick is CI/bench scale: smaller meshes, shorter windows, fewer
+	// seeds. Minutes for the full registry.
+	Quick Scale = iota
+	// Full approximates the paper's scale (8×8 meshes, long windows,
+	// 10 fault patterns); expect hours for the full registry.
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Table is one regenerated result table (a figure's data series).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carry the paper-expected shape and any scale caveats.
+	Notes []string
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one registry entry.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes what the original figure/table shows and the
+	// shape a successful reproduction must exhibit.
+	Paper string
+	Run   func(sc Scale, seed uint64) ([]Table, error)
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID] = e }
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// f1, f2, f3 format floats at fixed precision for table cells.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// pct renders a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"drain/internal/power"
+	"drain/internal/sim"
+	"drain/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Deadlock likelihood for PARSEC workloads as links are removed",
+		Paper: "Unprotected fully adaptive routing: no deadlocks with 0 links removed; " +
+			"deadlocks appear first for canneal (highest injection) around 4 removed links " +
+			"and become more common as more links are removed. Extra VCs delay but do not " +
+			"prevent deadlock.",
+		Run: fig3,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Active vs. wasted power of virtual networks",
+		Paper: "The vast majority of virtual-network power is wasted (static power burned " +
+			"while no packet of that VN is in flight).",
+		Run: fig4,
+	})
+}
+
+func fig3(sc Scale, seed uint64) ([]Table, error) {
+	w, h := 4, 4
+	linksRemoved := []int{0, 2, 4, 6, 8}
+	runs := 3
+	maxCycles := int64(25_000)
+	mshrs := 8 // raises pressure on the small quick system (see DESIGN.md)
+	if sc == Full {
+		w, h = 8, 8
+		linksRemoved = []int{0, 2, 4, 6, 8, 10, 12}
+		runs = 5
+		maxCycles = 200_000
+		mshrs = 8
+	}
+	var tables []Table
+	for _, vcs := range []int{1, 4} {
+		t := Table{
+			ID:      "fig3",
+			Title:   fmt.Sprintf("%% of runs deadlocked, %d VC/VNet, %dx%d mesh, unprotected adaptive routing", vcs, w, h),
+			Columns: []string{"workload"},
+		}
+		for _, lr := range linksRemoved {
+			t.Columns = append(t.Columns, fmt.Sprintf("%d links", lr))
+		}
+		for _, prof := range workload.Parsec5() {
+			row := []string{prof.Name}
+			for _, lr := range linksRemoved {
+				deadlocked := 0
+				for run := 0; run < runs; run++ {
+					r, err := sim.Build(sim.Params{
+						Width: w, Height: h,
+						Faults: lr, FaultSeed: seed + uint64(run)*7919,
+						Scheme:    sim.SchemeNone,
+						Classes:   3,
+						VNets:     3,
+						VCsPerVN:  vcs,
+						InjectCap: 16,
+						MSHRs:     mshrs,
+						// Strictly minimal adaptive: the deadlock-prone
+						// substrate whose failures this figure measures.
+						DerouteAfter: -1,
+						Seed:         seed + uint64(run)*104729,
+					})
+					if err != nil {
+						return nil, err
+					}
+					res, err := r.RunApp(prof, 0, maxCycles)
+					if err != nil {
+						return nil, err
+					}
+					if res.Deadlocked {
+						deadlocked++
+					}
+				}
+				row = append(row, pct(float64(deadlocked)/float64(runs)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("%d runs per cell, %d-cycle horizon, scale=%v.", runs, maxCycles, sc))
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func fig4(sc Scale, seed uint64) ([]Table, error) {
+	w, h := 4, 4
+	ops := int64(300)
+	maxCycles := int64(400_000)
+	if sc == Full {
+		ops, maxCycles = 2000, 4_000_000
+	}
+	t := Table{
+		ID:      "fig4",
+		Title:   "Per-virtual-network power on the escape-VC baseline (3 VNets)",
+		Columns: []string{"workload", "active (mW)", "wasted (mW)", "wasted share"},
+	}
+	params := power.DefaultParams()
+	for _, prof := range workload.Parsec5() {
+		r, err := sim.Build(sim.Params{
+			Width: w, Height: h, Scheme: sim.SchemeEscapeVC,
+			Classes: 3, InjectCap: 16, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := r.RunApp(prof, ops, maxCycles)
+		if err != nil {
+			return nil, err
+		}
+		rc := power.RouterConfig{
+			Ports: r.PortsPerRouter(), VNets: 3, VCsPerVN: 2,
+			FlitBits: 128, BufDepth: 5, Scheme: power.SchemeEscapeVC,
+		}
+		vp := power.PerVNPower(res.Counters, rc, params, res.Runtime, r.Graph.N(), 1.0)
+		var act, waste float64
+		for _, v := range vp {
+			act += v.ActiveMW
+			waste += v.WastedMW
+		}
+		t.Rows = append(t.Rows, []string{
+			prof.Name, f2(act), f2(waste), pct(waste / (act + waste)),
+		})
+	}
+	t.Notes = append(t.Notes, "Paper expectation: wasted share dominates for every workload.")
+	return []Table{t}, nil
+}

@@ -1,0 +1,61 @@
+package noc
+
+import "fmt"
+
+// CheckInvariants validates internal consistency; tests call it between
+// steps. It returns the first violation found.
+func (n *Network) CheckInvariants() error {
+	seen := make(map[int64]string)
+	note := func(p *Packet, where string) error {
+		if prev, dup := seen[p.ID]; dup {
+			return fmt.Errorf("noc: packet %d in two places: %s and %s", p.ID, prev, where)
+		}
+		seen[p.ID] = where
+		return nil
+	}
+	for l := 0; l < n.g.NumLinks(); l++ {
+		router := n.g.Link(l).To
+		for s := range n.linkVC[l] {
+			p := n.linkVC[l][s].pkt
+			if p == nil {
+				continue
+			}
+			if err := note(p, fmt.Sprintf("linkVC[%d][%d]", l, s)); err != nil {
+				return err
+			}
+			if p.atRouter != router || p.inLink != l || p.slot != s {
+				return fmt.Errorf("noc: packet %d position fields (%d,%d,%d) disagree with linkVC[%d][%d] at router %d",
+					p.ID, p.atRouter, p.inLink, p.slot, l, s, router)
+			}
+			if n.cfg.PolicyEscape && p.InEscape && !n.cfg.IsEscapeSlot(s) {
+				return fmt.Errorf("noc: escape packet %d occupies non-escape slot %d", p.ID, s)
+			}
+			if p.VNet != s/n.cfg.VCsPerVN {
+				return fmt.Errorf("noc: packet %d of VN %d occupies slot %d of VN %d", p.ID, p.VNet, s, s/n.cfg.VCsPerVN)
+			}
+		}
+	}
+	for r := 0; r < n.g.N(); r++ {
+		for s := range n.localVC[r] {
+			p := n.localVC[r][s].pkt
+			if p == nil {
+				continue
+			}
+			if err := note(p, fmt.Sprintf("localVC[%d][%d]", r, s)); err != nil {
+				return err
+			}
+			if p.atRouter != r || p.inLink != LocalPort || p.slot != s {
+				return fmt.Errorf("noc: packet %d local position fields inconsistent", p.ID)
+			}
+		}
+	}
+	for _, f := range n.inflights {
+		if !f.pkt.sending {
+			return fmt.Errorf("noc: in-flight packet %d not marked sending", f.pkt.ID)
+		}
+		if !f.eject && !n.linkVC[f.toLink][f.toSlot].reserved {
+			return fmt.Errorf("noc: in-flight packet %d target slot not reserved", f.pkt.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package noc
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"drain/internal/routing"
+	"drain/internal/topology"
+)
+
+// vcSlot is one virtual-channel buffer (single packet, VCT).
+type vcSlot struct {
+	pkt      *Packet
+	reserved bool // claimed by an in-flight transfer
+}
+
+func (s *vcSlot) free() bool { return s.pkt == nil && !s.reserved }
+
+// flight is an in-progress transfer over a link or through an eject port.
+type flight struct {
+	pkt      *Packet
+	doneAt   int64
+	eject    bool
+	toLink   int // destination link (buffer at its head router); -1 for eject
+	toSlot   int
+	toRouter int
+	// effects applied on arrival
+	setEscape  bool
+	downPhase  bool
+	productive bool
+}
+
+// Network is a complete NoC instance. It is not safe for concurrent use;
+// the simulator is single-threaded and deterministic for a given seed.
+type Network struct {
+	cfg Config
+	g   *topology.Graph
+	tab *routing.Table
+	rng *rand.Rand
+
+	cycle  int64
+	frozen bool
+
+	vcPerPort int
+	linkVC    [][]vcSlot // [linkID][slot]
+	localVC   [][]vcSlot // [router][slot]
+	linkBusy  []int64    // per link: busy until this cycle (exclusive)
+	ejectBusy []int64    // per router
+	inflights []flight
+
+	injQ [][][]*Packet // [router][class]
+	ejQ  [][][]*Packet
+
+	inLinks  [][]int // link IDs ending at each router
+	outLinks [][]int // link IDs starting at each router
+
+	nextID int64
+
+	// OnEject, when set, is invoked for every packet as it enters an
+	// ejection queue (including packets ejected during drain windows).
+	// Simulation drivers use it to collect latency statistics.
+	OnEject func(*Packet)
+
+	Counters Counters
+
+	// scratch buffers reused across cycles
+	scrReqs  []request
+	scrCands []routing.Candidate
+	scrWin   []int
+}
+
+// New builds a network from cfg (cfg is validated and defaulted).
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tab, err := routing.NewTable(cfg.Graph, cfg.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	g := cfg.Graph
+	n := &Network{
+		cfg:       cfg,
+		g:         g,
+		tab:       tab,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		vcPerPort: cfg.VCsPerPort(),
+		linkBusy:  make([]int64, g.NumLinks()),
+		ejectBusy: make([]int64, g.N()),
+		inLinks:   make([][]int, g.N()),
+		outLinks:  make([][]int, g.N()),
+	}
+	n.linkVC = make([][]vcSlot, g.NumLinks())
+	for i := range n.linkVC {
+		n.linkVC[i] = make([]vcSlot, n.vcPerPort)
+	}
+	n.localVC = make([][]vcSlot, g.N())
+	n.injQ = make([][][]*Packet, g.N())
+	n.ejQ = make([][][]*Packet, g.N())
+	for r := 0; r < g.N(); r++ {
+		n.localVC[r] = make([]vcSlot, n.vcPerPort)
+		n.injQ[r] = make([][]*Packet, cfg.Classes)
+		n.ejQ[r] = make([][]*Packet, cfg.Classes)
+	}
+	for _, l := range g.Links() {
+		n.inLinks[l.To] = append(n.inLinks[l.To], l.ID)
+		n.outLinks[l.From] = append(n.outLinks[l.From], l.ID)
+	}
+	n.Counters.VNFlits = make([]int64, cfg.VNets)
+	n.Counters.VNActiveRouterCycles = make([]int64, cfg.VNets)
+	n.Counters.vnRouterLastActive = make([][]int64, cfg.VNets)
+	for vn := range n.Counters.vnRouterLastActive {
+		row := make([]int64, g.N())
+		for r := range row {
+			row[r] = -1
+		}
+		n.Counters.vnRouterLastActive[vn] = row
+	}
+	return n, nil
+}
+
+// Config returns the network's (validated) configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Graph returns the topology.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// Table returns the routing table.
+func (n *Network) Table() *routing.Table { return n.tab }
+
+// Cycle returns the current simulation cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Frozen reports whether allocation is frozen (pre-drain credit freeze).
+func (n *Network) Frozen() bool { return n.frozen }
+
+// SetFrozen engages or releases the credit freeze: while frozen, no new
+// VC/switch allocations or injections occur, but in-flight transfers
+// complete (paper §III-C2 "Pre-Drain Window").
+func (n *Network) SetFrozen(v bool) { n.frozen = v }
+
+// InflightCount returns the number of transfers currently on links.
+func (n *Network) InflightCount() int { return len(n.inflights) }
+
+// NewPacket allocates a packet with position/IDs initialized; the caller
+// sets protocol fields and passes it to Inject.
+func (n *Network) NewPacket(src, dst, class, flits int) *Packet {
+	n.nextID++
+	return &Packet{
+		ID:        n.nextID,
+		Src:       src,
+		Dst:       dst,
+		Class:     class,
+		VNet:      n.cfg.VNetOf(class),
+		Flits:     flits,
+		CreatedAt: n.cycle,
+		atRouter:  src,
+		inLink:    LocalPort,
+		slot:      -1,
+	}
+}
+
+// CanInject reports whether router r's injection queue for class has room.
+func (n *Network) CanInject(r, class int) bool {
+	return n.cfg.InjectCap == 0 || len(n.injQ[r][class]) < n.cfg.InjectCap
+}
+
+// Inject queues p at its source router. It returns false (dropping
+// nothing; the caller retries) when the injection queue is bounded and
+// full.
+func (n *Network) Inject(p *Packet) bool {
+	if !n.CanInject(p.Src, p.Class) {
+		return false
+	}
+	if p.Flits > n.cfg.MaxFlits {
+		panic(fmt.Sprintf("noc: packet of %d flits exceeds MaxFlits %d", p.Flits, n.cfg.MaxFlits))
+	}
+	n.injQ[p.Src][p.Class] = append(n.injQ[p.Src][p.Class], p)
+	n.Counters.Created++
+	return true
+}
+
+// InjQueueLen returns the length of router r's class injection queue.
+func (n *Network) InjQueueLen(r, class int) int { return len(n.injQ[r][class]) }
+
+// EjectedLen returns the number of packets waiting in router r's class
+// ejection queue.
+func (n *Network) EjectedLen(r, class int) int { return len(n.ejQ[r][class]) }
+
+// ejectSpace reports whether the class queue at r can accept one more.
+func (n *Network) ejectSpace(r, class int) bool {
+	return len(n.ejQ[r][class]) < n.cfg.EjectCap
+}
+
+// PopEjected removes and returns the oldest ejected packet of the class
+// at router r, or nil if the queue is empty. The consumer (traffic sink
+// or coherence controller) calls this; separate per-class consumption is
+// what makes the paper's protocol-deadlock assumptions hold.
+func (n *Network) PopEjected(r, class int) *Packet {
+	q := n.ejQ[r][class]
+	if len(q) == 0 {
+		return nil
+	}
+	p := q[0]
+	copy(q, q[1:])
+	n.ejQ[r][class] = q[:len(q)-1]
+	return p
+}
+
+// PeekEjected returns the oldest ejected packet without removing it.
+func (n *Network) PeekEjected(r, class int) *Packet {
+	q := n.ejQ[r][class]
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}
+
+// OccupiedVCs returns the number of link VC buffers currently holding
+// packets (diagnostic).
+func (n *Network) OccupiedVCs() int {
+	c := 0
+	for _, port := range n.linkVC {
+		for i := range port {
+			if port[i].pkt != nil {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// InFlightPackets returns the total packets anywhere in the network:
+// injection queues, VCs, links, and ejection queues.
+func (n *Network) InFlightPackets() int {
+	total := len(n.inflights)
+	for r := 0; r < n.g.N(); r++ {
+		for c := 0; c < n.cfg.Classes; c++ {
+			total += len(n.injQ[r][c]) + len(n.ejQ[r][c])
+		}
+		for i := range n.localVC[r] {
+			if n.localVC[r][i].pkt != nil {
+				total++
+			}
+		}
+	}
+	return total + n.OccupiedVCs()
+}
+
+// EscapeOccupant returns the packet in link's escape VC for virtual
+// network vn, or nil.
+func (n *Network) EscapeOccupant(linkID, vn int) *Packet {
+	return n.linkVC[linkID][n.cfg.EscapeSlot(vn)].pkt
+}
+
+// LinkOccupant returns the packet in the given link VC slot, or nil.
+func (n *Network) LinkOccupant(linkID, slot int) *Packet {
+	return n.linkVC[linkID][slot].pkt
+}
+
+// LocalOccupant returns the packet in the given local VC slot, or nil.
+func (n *Network) LocalOccupant(router, slot int) *Packet {
+	return n.localVC[router][slot].pkt
+}

@@ -1,0 +1,158 @@
+package noc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VCRef identifies one link VC buffer (the escape or ordinary VC at the
+// input port fed by Link).
+type VCRef struct {
+	Link int
+	Slot int
+}
+
+// ErrNotQuiesced is returned when a rotation is attempted while link
+// transfers are still in flight (the pre-drain window must complete
+// first).
+var ErrNotQuiesced = errors.New("noc: network has in-flight transfers; pre-drain incomplete")
+
+// DrainReport summarizes one drain rotation.
+type DrainReport struct {
+	Moved   int // packets forced one hop
+	Ejected int // packets that reached their destination and left
+}
+
+// DrainRotate forces every packet in every escape VC one hop along the
+// drain path: next[linkID] is the successor link. The rotation is a
+// simultaneous permutation, so it always succeeds; packets landing at
+// their destination router eject when the class queue has room (paper
+// §III-C2 "Drain Window"). The network must be frozen and quiesced.
+func (n *Network) DrainRotate(next []int) (DrainReport, error) {
+	var rep DrainReport
+	if !n.frozen {
+		return rep, errors.New("noc: DrainRotate requires a frozen network")
+	}
+	if len(n.inflights) > 0 {
+		return rep, ErrNotQuiesced
+	}
+	if len(next) != n.g.NumLinks() {
+		return rep, fmt.Errorf("noc: drain path covers %d links, topology has %d", len(next), n.g.NumLinks())
+	}
+	for vn := 0; vn < n.cfg.VNets; vn++ {
+		slot := n.cfg.EscapeSlot(vn)
+		moved := make([]*Packet, n.g.NumLinks()) // new occupant per link
+		for l := 0; l < n.g.NumLinks(); l++ {
+			p := n.linkVC[l][slot].pkt
+			if p == nil {
+				continue
+			}
+			d := next[l]
+			target := n.g.Link(d)
+			oldRouter := p.atRouter
+			p.Hops++
+			p.DrainHops++
+			n.Counters.Hops++
+			n.Counters.DrainMoves++
+			n.Counters.LinkFlits += int64(p.Flits)
+			n.Counters.noteVNActivity(p.VNet, target.To, n.cycle, int64(p.Flits))
+			if n.tab.Dist(target.To, p.Dst) >= n.tab.Dist(oldRouter, p.Dst) {
+				p.Misroutes++
+				n.Counters.Misroutes++
+			}
+			if p.Dst == target.To && n.ejectSpace(target.To, p.Class) {
+				p.EjectedAt = n.cycle
+				n.ejQ[target.To][p.Class] = append(n.ejQ[target.To][p.Class], p)
+				n.Counters.Ejected++
+				if n.OnEject != nil {
+					n.OnEject(p)
+				}
+				rep.Ejected++
+				continue
+			}
+			p.atRouter = target.To
+			p.inLink = d
+			p.slot = slot
+			p.readyAt = n.cycle + int64(n.cfg.RouterLatency)
+			// A forced turn invalidates any up*/down* phase bookkeeping;
+			// DRAIN's escape VC is unrestricted so the phase restarts.
+			p.DownPhase = false
+			moved[d] = p
+			rep.Moved++
+		}
+		for l := 0; l < n.g.NumLinks(); l++ {
+			n.linkVC[l][slot].pkt = moved[l]
+		}
+	}
+	return rep, nil
+}
+
+// FullDrain rotates the complete drain path length, giving every escape-VC
+// packet the chance to visit all routers and eject at its destination
+// (paper §III-C2 "Full Drain"). Returns the aggregate report.
+func (n *Network) FullDrain(next []int) (DrainReport, error) {
+	var total DrainReport
+	for i := 0; i < len(next); i++ {
+		rep, err := n.DrainRotate(next)
+		if err != nil {
+			return total, err
+		}
+		total.Moved += rep.Moved
+		total.Ejected += rep.Ejected
+		if rep.Moved == 0 {
+			break // nothing left in escape VCs
+		}
+	}
+	return total, nil
+}
+
+// RotateBlockedCycle forces the packets occupying the given cyclic chain
+// of VC buffers to each move one hop into the next buffer (SPIN's
+// coordinated forced movement). refs[i]'s packet moves into refs[i+1];
+// the last moves into refs[0]. All refs must be occupied by non-moving
+// packets, and consecutive refs must be joined by a legal turn.
+func (n *Network) RotateBlockedCycle(refs []VCRef) error {
+	if len(refs) < 2 {
+		return errors.New("noc: rotation cycle needs at least 2 VCs")
+	}
+	pkts := make([]*Packet, len(refs))
+	for i, ref := range refs {
+		p := n.linkVC[ref.Link][ref.Slot].pkt
+		if p == nil {
+			return fmt.Errorf("noc: cycle position %d (%v) is empty", i, ref)
+		}
+		if p.sending {
+			return fmt.Errorf("noc: cycle position %d (%v) holds a moving packet", i, ref)
+		}
+		nxt := refs[(i+1)%len(refs)]
+		if n.g.Link(nxt.Link).From != n.g.Link(ref.Link).To {
+			return fmt.Errorf("noc: cycle positions %d→%d are not joined by a turn", i, i+1)
+		}
+		pkts[i] = p
+	}
+	for i := range refs {
+		nxt := refs[(i+1)%len(refs)]
+		p := pkts[i]
+		target := n.g.Link(nxt.Link)
+		if n.tab.Dist(target.To, p.Dst) >= n.tab.Dist(p.atRouter, p.Dst) {
+			p.Misroutes++
+			n.Counters.Misroutes++
+		}
+		p.atRouter = target.To
+		p.inLink = nxt.Link
+		p.slot = nxt.Slot
+		p.readyAt = n.cycle + int64(n.cfg.RouterLatency)
+		p.Hops++
+		p.SpinHops++
+		p.DownPhase = false
+		n.Counters.Hops++
+		n.Counters.SpinMoves++
+		n.Counters.LinkFlits += int64(p.Flits)
+		n.Counters.noteVNActivity(p.VNet, target.To, n.cycle, int64(p.Flits))
+	}
+	for i, ref := range refs {
+		prev := pkts[(i-1+len(pkts))%len(pkts)]
+		n.linkVC[ref.Link][ref.Slot].pkt = prev
+	}
+	return nil
+}

@@ -1,0 +1,425 @@
+package noc
+
+import "drain/internal/routing"
+
+// request is an input VC asking for outputs this cycle (scratch state).
+type request struct {
+	pkt    *Packet
+	inLink int // LocalPort or link ID
+	slot   int
+	wantEj bool
+	// outputs the packet may take from a non-escape standpoint and from
+	// an escape standpoint, as candidate entries (LinkID + phase info).
+	mainOuts []routing.Candidate
+	escOuts  []routing.Candidate
+}
+
+// Step advances the network by one cycle: completes arrivals, performs
+// switch/VC allocation (unless frozen), and moves injection-queue heads
+// into free local VCs. The caller consumes ejection queues afterwards.
+func (n *Network) Step() {
+	n.cycle++
+	n.completeFlights()
+	if n.frozen {
+		n.Counters.FrozenCyc++
+		return
+	}
+	n.allocate()
+	n.injectFromQueues()
+}
+
+// completeFlights lands transfers whose serialization finished.
+func (n *Network) completeFlights() {
+	out := n.inflights[:0]
+	for _, f := range n.inflights {
+		if f.doneAt > n.cycle {
+			out = append(out, f)
+			continue
+		}
+		n.land(f)
+	}
+	n.inflights = out
+}
+
+// land applies the effects of a completed transfer.
+func (n *Network) land(f flight) {
+	p := f.pkt
+	// Free the upstream buffer.
+	n.slotOf(p.inLink, p.atRouter, p.slot).pkt = nil
+	n.Counters.BufReads += int64(p.Flits)
+	p.sending = false
+
+	if f.eject {
+		p.EjectedAt = n.cycle
+		n.ejQ[f.toRouter][p.Class] = append(n.ejQ[f.toRouter][p.Class], p)
+		n.Counters.Ejected++
+		if n.OnEject != nil {
+			n.OnEject(p)
+		}
+		return
+	}
+	dst := &n.linkVC[f.toLink][f.toSlot]
+	dst.reserved = false
+	dst.pkt = p
+	p.atRouter = f.toRouter
+	p.inLink = f.toLink
+	p.slot = f.toSlot
+	p.readyAt = n.cycle + int64(n.cfg.RouterLatency)
+	p.Hops++
+	if f.setEscape {
+		p.InEscape = true
+	}
+	p.DownPhase = f.downPhase
+	if !f.productive {
+		p.Misroutes++
+		n.Counters.Misroutes++
+	}
+	n.Counters.Hops++
+	n.Counters.LinkFlits += int64(p.Flits)
+	n.Counters.BufWrites += int64(p.Flits)
+	n.Counters.noteVNActivity(p.VNet, f.toRouter, n.cycle, int64(p.Flits))
+}
+
+// slotOf resolves an input VC slot (link or local port).
+func (n *Network) slotOf(inLink, router, slot int) *vcSlot {
+	if inLink == LocalPort {
+		return &n.localVC[router][slot]
+	}
+	return &n.linkVC[inLink][slot]
+}
+
+// allocate performs one cycle of switch + VC allocation at every router.
+func (n *Network) allocate() {
+	for r := 0; r < n.g.N(); r++ {
+		n.allocateRouter(r)
+	}
+}
+
+// allocateRouter arbitrates router r's output ports among its input VCs.
+func (n *Network) allocateRouter(r int) {
+	reqs := n.gatherRequests(r)
+	if len(reqs) == 0 {
+		return
+	}
+	// Eject port first (it frees VCs fastest and models priority to
+	// sinking traffic), then each output link.
+	if n.ejectBusy[r] <= n.cycle {
+		n.arbitrateEject(r, reqs)
+	}
+	for _, out := range n.outLinks[r] {
+		if n.linkBusy[out] > n.cycle {
+			continue
+		}
+		n.arbitrateLink(r, out, reqs)
+	}
+}
+
+// gatherRequests lists input VCs of r with a head packet eligible to move
+// this cycle, along with the outputs each may use.
+func (n *Network) gatherRequests(r int) []request {
+	reqs := n.scrReqs[:0]
+	consider := func(inLink int, slots []vcSlot) {
+		for s := range slots {
+			p := slots[s].pkt
+			if p == nil || p.sending || p.readyAt > n.cycle {
+				continue
+			}
+			req := request{pkt: p, inLink: inLink, slot: s}
+			if p.Dst == r {
+				req.wantEj = true
+				reqs = append(reqs, req)
+				continue
+			}
+			// A long-stalled packet on an unrestricted (adaptive) routing
+			// function may deroute over any output, including U-turns.
+			stalled := n.cfg.DerouteAfter > 0 && n.cycle-p.readyAt >= int64(n.cfg.DerouteAfter)
+			cands := func(k routing.Kind, phase bool) []routing.Candidate {
+				if stalled && k == routing.AdaptiveMinimal {
+					return n.tab.AllOutputs(nil, r, p.Dst)
+				}
+				return n.tab.Candidates(nil, k, r, p.Dst, phase)
+			}
+			// Routing candidates. Escape discipline (paper §III-A):
+			// a packet in an escape VC may only continue on escape VCs
+			// under EscapeRouting; others may use either.
+			if n.cfg.PolicyEscape {
+				escapeReady := p.InEscape ||
+					n.cfg.EscapeAfter <= 0 ||
+					n.cycle-p.readyAt >= int64(n.cfg.EscapeAfter)
+				if !p.InEscape {
+					req.mainOuts = cands(n.cfg.Routing, p.DownPhase)
+				}
+				// Phase for escape routing: a packet entering the escape
+				// network starts its up*/down* walk fresh.
+				escPhase := p.DownPhase
+				if !p.InEscape {
+					escPhase = false
+				}
+				if escapeReady {
+					req.escOuts = cands(n.cfg.EscapeRouting, escPhase)
+				}
+			} else {
+				req.mainOuts = cands(n.cfg.Routing, p.DownPhase)
+			}
+			if len(req.mainOuts) > 0 || len(req.escOuts) > 0 {
+				reqs = append(reqs, req)
+			}
+		}
+	}
+	for _, l := range n.inLinks[r] {
+		consider(l, n.linkVC[l])
+	}
+	consider(LocalPort, n.localVC[r])
+	n.scrReqs = reqs
+	return reqs
+}
+
+// arbitrateEject grants the eject port to one destination packet.
+func (n *Network) arbitrateEject(r int, reqs []request) {
+	winners := n.scrWin[:0]
+	for i, req := range reqs {
+		if req.wantEj && !req.pkt.sending && n.ejectSpace(r, req.pkt.Class) {
+			winners = append(winners, i)
+		}
+	}
+	n.scrWin = winners
+	if len(winners) == 0 {
+		return
+	}
+	w := reqs[winners[n.rng.IntN(len(winners))]]
+	p := w.pkt
+	p.sending = true
+	n.ejectBusy[r] = n.cycle + int64(p.Flits)
+	n.inflights = append(n.inflights, flight{
+		pkt: p, doneAt: n.cycle + int64(p.Flits), eject: true, toLink: -1, toRouter: r,
+	})
+	n.Counters.SWAllocs++
+	n.Counters.XbarFlits += int64(p.Flits)
+	n.Counters.noteVNActivity(p.VNet, r, n.cycle, int64(p.Flits))
+}
+
+// arbitrateLink grants output link `out` of router r to one input VC.
+func (n *Network) arbitrateLink(r, out int, reqs []request) {
+	type grant struct {
+		reqIdx     int
+		toSlot     int
+		setEscape  bool
+		downPhase  bool
+		productive bool
+	}
+	var options []grant
+	for i := range reqs {
+		req := &reqs[i]
+		p := req.pkt
+		if p.sending {
+			continue
+		}
+		// Conservative VC allocation at the injection port (paper §II-C:
+		// fully adaptive routing pairs with conservative allocation): a
+		// locally injected packet may not claim the last free VC of the
+		// downstream port's VN, so through-traffic always has a hole to
+		// move into and the network cannot self-jam into 100% occupancy.
+		// With single-VC virtual networks the port rule degenerates, so a
+		// bubble-flow-control-style router rule applies instead: the
+		// target router must retain a second free buffer in the VN.
+		conservativeOK := true
+		if req.inLink == LocalPort {
+			if n.freeSlotsInVN(out, p.VNet) < min(2, n.cfg.VCsPerVN) {
+				conservativeOK = false
+			}
+			if n.cfg.VCsPerVN == 1 && n.routerFreeInVN(n.g.Link(out).To, p.VNet) < 2 {
+				conservativeOK = false
+			}
+		}
+		// Non-escape path: needs the output in mainOuts and a free
+		// non-escape VC downstream in the packet's VNet.
+		if conservativeOK {
+			if c, ok := findCand(req.mainOuts, out); ok {
+				if slot, ok2 := n.freeDownstreamSlot(out, p.VNet, false); ok2 {
+					options = append(options, grant{
+						reqIdx: i, toSlot: slot,
+						downPhase: c.DownPhase, productive: c.Productive,
+					})
+					continue
+				}
+			}
+		}
+		// Escape path: output legal under escape routing and the escape
+		// slot downstream is free. A long-stalled local packet may claim
+		// an escape slot even against the conservative rule: drains
+		// guarantee escape buffers keep turning over, so this bounded
+		// bypass restores the injection-progress guarantee (§III-D2)
+		// without letting injection pack ordinary buffers to 100%.
+		escConservative := conservativeOK || n.injectBypass(p)
+		outsForEscape := req.escOuts
+		if !n.cfg.PolicyEscape {
+			outsForEscape = nil
+		}
+		if escConservative {
+			if c, ok := findCand(outsForEscape, out); ok {
+				if slot, ok2 := n.freeDownstreamSlot(out, p.VNet, true); ok2 {
+					options = append(options, grant{
+						reqIdx: i, toSlot: slot, setEscape: !n.cfg.NonStickyEscape,
+						downPhase: c.DownPhase, productive: c.Productive,
+					})
+				}
+			}
+		}
+	}
+	if len(options) == 0 {
+		return
+	}
+	// Prefer productive grants: deroutes only win an output no minimal
+	// packet wants, keeping misrouting a last resort.
+	prod := options[:0:0]
+	for _, o := range options {
+		if o.productive {
+			prod = append(prod, o)
+		}
+	}
+	if len(prod) > 0 {
+		options = prod
+	}
+	g := options[n.rng.IntN(len(options))]
+	req := &reqs[g.reqIdx]
+	p := req.pkt
+	link := n.g.Link(out)
+	p.sending = true
+	n.linkBusy[out] = n.cycle + int64(p.Flits)
+	dst := &n.linkVC[out][g.toSlot]
+	dst.reserved = true
+	n.inflights = append(n.inflights, flight{
+		pkt:        p,
+		doneAt:     n.cycle + int64(p.Flits),
+		toLink:     out,
+		toSlot:     g.toSlot,
+		toRouter:   link.To,
+		setEscape:  g.setEscape,
+		downPhase:  g.downPhase,
+		productive: g.productive,
+	})
+	n.Counters.SWAllocs++
+	n.Counters.VCAllocs++
+	n.Counters.XbarFlits += int64(p.Flits)
+}
+
+// findCand returns the candidate targeting link out, if present.
+func findCand(cands []routing.Candidate, out int) (routing.Candidate, bool) {
+	for _, c := range cands {
+		if c.LinkID == out {
+			return c, true
+		}
+	}
+	return routing.Candidate{}, false
+}
+
+// freeSlotsInVN counts free VC slots of virtual network vn at the input
+// port fed by link out.
+func (n *Network) freeSlotsInVN(out, vn int) int {
+	base := vn * n.cfg.VCsPerVN
+	c := 0
+	for s := base; s < base+n.cfg.VCsPerVN; s++ {
+		if n.linkVC[out][s].free() {
+			c++
+		}
+	}
+	return c
+}
+
+// injectBypass reports whether a local packet has stalled long enough to
+// skip the conservative injection admission (progress guarantee; see
+// Config.InjectPatience).
+func (n *Network) injectBypass(p *Packet) bool {
+	return n.cfg.InjectPatience > 0 && n.cycle-p.readyAt >= int64(n.cfg.InjectPatience)
+}
+
+// routerFreeInVN counts free VC slots of virtual network vn across all
+// link input ports of the given router.
+func (n *Network) routerFreeInVN(router, vn int) int {
+	c := 0
+	for _, l := range n.inLinks[router] {
+		c += n.freeSlotsInVN(l, vn)
+	}
+	return c
+}
+
+// freeDownstreamSlot picks a free VC slot at the input port fed by link
+// `out`, within virtual network vn. With escape=false it returns the
+// first free non-escape slot; with escape=true, the escape slot if free.
+// When PolicyEscape is disabled all slots (including slot 0) are plain
+// VCs handled by the escape=false path.
+func (n *Network) freeDownstreamSlot(out, vn int, escape bool) (int, bool) {
+	base := vn * n.cfg.VCsPerVN
+	slots := n.linkVC[out]
+	if escape {
+		if slots[base].free() {
+			return base, true
+		}
+		return 0, false
+	}
+	start := base
+	if n.cfg.PolicyEscape {
+		start = base + 1 // slot 0 is the escape VC: reachable only via the escape path
+	}
+	for s := start; s < base+n.cfg.VCsPerVN; s++ {
+		if slots[s].free() {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// injectFromQueues moves injection-queue heads into free local VCs.
+func (n *Network) injectFromQueues() {
+	for r := 0; r < n.g.N(); r++ {
+		for class := 0; class < n.cfg.Classes; class++ {
+			q := n.injQ[r][class]
+			if len(q) == 0 {
+				continue
+			}
+			p := q[0]
+			slot, escape, ok := n.freeLocalSlot(r, p.VNet)
+			if !ok {
+				continue
+			}
+			copy(q, q[1:])
+			n.injQ[r][class] = q[:len(q)-1]
+			lv := &n.localVC[r][slot]
+			lv.pkt = p
+			p.atRouter = r
+			p.inLink = LocalPort
+			p.slot = slot
+			p.InjectedAt = n.cycle
+			p.readyAt = n.cycle + int64(n.cfg.RouterLatency)
+			if escape && !n.cfg.NonStickyEscape {
+				p.InEscape = true
+			}
+			n.Counters.Injected++
+			n.Counters.BufWrites += int64(p.Flits)
+			n.Counters.noteVNActivity(p.VNet, r, n.cycle, int64(p.Flits))
+		}
+	}
+}
+
+// freeLocalSlot picks a free local VC in vn, preferring non-escape slots.
+func (n *Network) freeLocalSlot(r, vn int) (slot int, escape, ok bool) {
+	base := vn * n.cfg.VCsPerVN
+	slots := n.localVC[r]
+	if n.cfg.PolicyEscape {
+		for s := base + 1; s < base+n.cfg.VCsPerVN; s++ {
+			if slots[s].free() {
+				return s, false, true
+			}
+		}
+		if slots[base].free() {
+			return base, true, true
+		}
+		return 0, false, false
+	}
+	for s := base; s < base+n.cfg.VCsPerVN; s++ {
+		if slots[s].free() {
+			return s, false, true
+		}
+	}
+	return 0, false, false
+}

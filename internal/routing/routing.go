@@ -1,0 +1,272 @@
+// Package routing implements the routing algorithms used by the DRAIN
+// paper's evaluation (Table II): dimension-order (XY) routing on regular
+// meshes, fully adaptive minimal routing on arbitrary graphs, and
+// topology-agnostic up*/down* routing for irregular/faulty networks.
+//
+// All algorithms are table-driven: NewTable precomputes the per-
+// destination structures once per topology (the paper recomputes routing
+// state offline whenever a fault occurs), and Candidates answers per-hop
+// queries without allocation.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"drain/internal/topology"
+)
+
+// Kind selects a routing algorithm.
+type Kind int
+
+const (
+	// AdaptiveMinimal routes over any output that strictly reduces the
+	// BFS hop distance to the destination ("fully adaptive random" in the
+	// paper once the caller randomizes among candidates).
+	AdaptiveMinimal Kind = iota
+	// XY is dimension-order routing on a 2D mesh: X fully, then Y.
+	// Deadlock-free on fault-free meshes; unusable with faults.
+	XY
+	// UpDown is up*/down* routing over a BFS spanning tree: a route may
+	// never take an "up" link after a "down" link. Deadlock-free on any
+	// connected topology, at the cost of non-minimal paths.
+	UpDown
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case AdaptiveMinimal:
+		return "adaptive"
+	case XY:
+		return "xy"
+	case UpDown:
+		return "updown"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Candidate is one legal output for a packet at a router.
+type Candidate struct {
+	LinkID int // outgoing unidirectional link to take
+	// DownPhase is the packet's up*/down* phase after taking this link
+	// (true once any down link has been taken). Meaningless for other
+	// algorithms; preserved as-is.
+	DownPhase bool
+	// Productive reports whether the hop strictly reduces the true BFS
+	// distance to the destination (used for misroute accounting).
+	Productive bool
+}
+
+// Table holds precomputed routing state for one topology.
+type Table struct {
+	g    *topology.Graph
+	mesh *topology.Mesh // nil unless XY requested
+
+	dist [][]int // dist[r][dst] BFS hop distance
+
+	// up*/down* state. level/order define link direction; distUD[dst]
+	// is indexed [router*2 + phase] where phase 1 means "has gone down".
+	udRoot  int
+	udOrder []int
+	distUD  [][]int
+}
+
+// NewTable precomputes routing state for g. mesh may be nil; it is
+// required only to answer XY queries. up*/down* numbering is rooted at
+// router 0 over a BFS spanning tree.
+func NewTable(g *topology.Graph, mesh *topology.Mesh) (*Table, error) {
+	return NewTableWithRoot(g, mesh, 0)
+}
+
+// NewTableWithRoot is NewTable with an explicit up*/down* root router.
+// Root placement determines how much up*/down* stretches routes and how
+// badly traffic concentrates around the root (classic Autonet-style
+// numbering picks an arbitrary root; the paper's Fig. 5 gap follows).
+func NewTableWithRoot(g *topology.Graph, mesh *topology.Mesh, root int) (*Table, error) {
+	if !g.Connected() {
+		return nil, fmt.Errorf("routing: topology is disconnected")
+	}
+	if root < 0 || root >= g.N() {
+		return nil, fmt.Errorf("routing: up*/down* root %d out of range", root)
+	}
+	t := &Table{g: g, mesh: mesh, dist: g.AllPairsDist(), udRoot: root}
+	if err := t.buildUpDown(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Dist returns the BFS hop distance from r to dst.
+func (t *Table) Dist(r, dst int) int { return t.dist[r][dst] }
+
+// Graph returns the topology the table was built for.
+func (t *Table) Graph() *topology.Graph { return t.g }
+
+// buildUpDown assigns the up*/down* ordering and distance tables.
+func (t *Table) buildUpDown() error {
+	g := t.g
+	// BFS levels from the root; "up" goes toward the root: a link u→v is
+	// up iff (level[v], v) < (level[u], u) lexicographically, so every
+	// link has exactly one direction.
+	level := g.BFSDist(t.udRoot)
+	t.udOrder = make([]int, g.N())
+	// Dense rank: routers sorted by (level, id).
+	byRank := make([]int, g.N())
+	for i := range byRank {
+		byRank[i] = i
+	}
+	sort.Slice(byRank, func(a, b int) bool {
+		if level[byRank[a]] != level[byRank[b]] {
+			return level[byRank[a]] < level[byRank[b]]
+		}
+		return byRank[a] < byRank[b]
+	})
+	for rank, r := range byRank {
+		t.udOrder[r] = rank
+	}
+
+	// distUD[dst][router*2+phase]: minimum legal hops from (router,phase)
+	// to dst. Computed per destination by BFS over the reversed
+	// phase-product graph.
+	t.distUD = make([][]int, g.N())
+	// Reverse adjacency: for state (v, pv), which states (u, pu) step to it?
+	// (u,0) --up--> (v,0); (u,0) --down--> (v,1); (u,1) --down--> (v,1).
+	for dst := 0; dst < g.N(); dst++ {
+		d := make([]int, g.N()*2)
+		for i := range d {
+			d[i] = -1
+		}
+		queue := make([]int, 0, g.N()*2)
+		d[dst*2+0], d[dst*2+1] = 0, 0
+		queue = append(queue, dst*2+0, dst*2+1)
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			v, pv := s/2, s%2
+			for _, u := range g.Neighbors(v) {
+				up := t.IsUp(u, v)
+				var preds []int
+				if pv == 0 {
+					if up {
+						preds = []int{u*2 + 0}
+					}
+				} else {
+					if !up { // u→v is a down link
+						preds = []int{u*2 + 0, u*2 + 1}
+					}
+				}
+				for _, p := range preds {
+					if d[p] < 0 {
+						d[p] = d[s] + 1
+						queue = append(queue, p)
+					}
+				}
+			}
+		}
+		// Reachability check: phase-0 state of every router must reach dst.
+		for r := 0; r < g.N(); r++ {
+			if d[r*2+0] < 0 && r != dst {
+				return fmt.Errorf("routing: up*/down* cannot reach %d from %d", dst, r)
+			}
+		}
+		t.distUD[dst] = d
+	}
+	return nil
+}
+
+// IsUp reports whether the link from→to travels "up" (toward the
+// spanning-tree root) under the table's up*/down* ordering.
+func (t *Table) IsUp(from, to int) bool { return t.udOrder[to] < t.udOrder[from] }
+
+// UpDownDist returns the minimum number of legal up*/down* hops from r
+// (in the given phase) to dst, or -1 if unreachable in that phase.
+func (t *Table) UpDownDist(r int, downPhase bool, dst int) int {
+	ph := 0
+	if downPhase {
+		ph = 1
+	}
+	return t.distUD[dst][r*2+ph]
+}
+
+// AllOutputs appends every outgoing link of router `at` as a candidate
+// (including U-turns — the paper's assumption 3 permits every turn),
+// with Productive computed against the BFS distance. This is the
+// "fully adaptive" candidate set: an unrestricted-routing packet that
+// has stalled may deroute over any output (misrouting is legal; DRAIN's
+// full drains guard against livelock).
+func (t *Table) AllOutputs(buf []Candidate, at, dst int) []Candidate {
+	if at == dst {
+		return buf
+	}
+	cur := t.dist[at][dst]
+	for _, nb := range t.g.Neighbors(at) {
+		id, _ := t.g.LinkID(at, nb)
+		buf = append(buf, Candidate{LinkID: id, Productive: t.dist[nb][dst] < cur})
+	}
+	return buf
+}
+
+// Candidates appends the legal next-hop candidates for a packet at router
+// `at` heading to dst under algorithm k, and returns the extended slice.
+// downPhase is the packet's current up*/down* phase (ignored by other
+// algorithms). At the destination router it returns no candidates — the
+// caller ejects instead.
+func (t *Table) Candidates(buf []Candidate, k Kind, at, dst int, downPhase bool) []Candidate {
+	if at == dst {
+		return buf
+	}
+	switch k {
+	case AdaptiveMinimal:
+		cur := t.dist[at][dst]
+		for _, nb := range t.g.Neighbors(at) {
+			if t.dist[nb][dst] < cur {
+				id, _ := t.g.LinkID(at, nb)
+				buf = append(buf, Candidate{LinkID: id, DownPhase: downPhase, Productive: true})
+			}
+		}
+	case XY:
+		if t.mesh == nil {
+			return buf
+		}
+		m := t.mesh
+		x, y := m.XY(at)
+		dx, dy := m.XY(dst)
+		var next int
+		switch {
+		case x < dx:
+			next = m.RouterAt(x+1, y)
+		case x > dx:
+			next = m.RouterAt(x-1, y)
+		case y < dy:
+			next = m.RouterAt(x, y+1)
+		default:
+			next = m.RouterAt(x, y-1)
+		}
+		if id, ok := t.g.LinkID(at, next); ok {
+			buf = append(buf, Candidate{LinkID: id, DownPhase: downPhase, Productive: true})
+		}
+	case UpDown:
+		cur := t.UpDownDist(at, downPhase, dst)
+		if cur < 0 {
+			return buf
+		}
+		for _, nb := range t.g.Neighbors(at) {
+			up := t.IsUp(at, nb)
+			if downPhase && up {
+				continue // an up turn after going down is illegal
+			}
+			nextPhase := downPhase || !up
+			if t.UpDownDist(nb, nextPhase, dst) == cur-1 {
+				id, _ := t.g.LinkID(at, nb)
+				buf = append(buf, Candidate{
+					LinkID:     id,
+					DownPhase:  nextPhase,
+					Productive: t.dist[nb][dst] < t.dist[at][dst],
+				})
+			}
+		}
+	}
+	return buf
+}

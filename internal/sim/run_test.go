@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"drain/internal/stats"
+	"drain/internal/traffic"
+	"drain/internal/workload"
+)
+
+func TestUpDownSchemeRuns(t *testing.T) {
+	r, err := Build(Params{Width: 4, Height: 4, Scheme: SchemeUpDown, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, 0.05, 500, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted < 0.03 {
+		t.Errorf("up*/down* accepted %.3f at offered 0.05", res.Accepted)
+	}
+	if res.MisroutesPerK != 0 {
+		t.Errorf("up*/down* must never misroute, got %.2f/1k", res.MisroutesPerK)
+	}
+}
+
+func TestCtrlFractionControlsPacketSize(t *testing.T) {
+	// All-control traffic moves more packets per flit than all-data.
+	run := func(ctrl float64) SyntheticResult {
+		r, err := Build(Params{
+			Width: 4, Height: 4, Scheme: SchemeDRAIN, Seed: 3,
+			CtrlFraction: ctrl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, 0.05, 500, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	small := run(1.0)
+	big := run(-1) // negative → all MaxFlits-sized
+	if small.Counters.LinkFlits >= big.Counters.LinkFlits {
+		t.Errorf("all-data traffic should move more flits: %d vs %d",
+			small.Counters.LinkFlits, big.Counters.LinkFlits)
+	}
+	if small.AvgLatency >= big.AvgLatency {
+		t.Errorf("1-flit latency %.1f should beat 5-flit %.1f",
+			small.AvgLatency, big.AvgLatency)
+	}
+}
+
+func TestMSHRParamPropagates(t *testing.T) {
+	// A larger MSHR budget must raise protocol concurrency (more misses
+	// outstanding → more messages for the same ops target).
+	prof := workload.MustGet("canneal")
+	run := func(mshrs int) AppResult {
+		r, err := Build(Params{
+			Width: 4, Height: 4, Scheme: SchemeEscapeVC, Classes: 3,
+			InjectCap: 16, MSHRs: mshrs, Seed: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunApp(prof, 300, 400_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("mshrs=%d did not complete", mshrs)
+		}
+		return res
+	}
+	small := run(1)
+	big := run(8)
+	if big.Runtime >= small.Runtime {
+		t.Errorf("more MSHRs should shorten runtime: %d vs %d", big.Runtime, small.Runtime)
+	}
+}
+
+func TestSyntheticMeasurementWindow(t *testing.T) {
+	// Packets created before the warmup boundary must not contaminate
+	// the measured latency sample; cheap sanity: zero measure window
+	// yields zero accepted and zero latency sample.
+	r, err := Build(Params{Width: 4, Height: 4, Scheme: SchemeDRAIN, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, 0.05, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 0 || res.AvgLatency != 0 {
+		t.Errorf("zero measurement window produced data: %+v", res)
+	}
+}
+
+func TestDrainStatsSurfaceInAppResult(t *testing.T) {
+	r, err := Build(Params{
+		Width: 4, Height: 4, Scheme: SchemeDRAIN, Classes: 3,
+		Epoch: 500, InjectCap: 16, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunApp(workload.MustGet("bodytrack"), 200, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	if res.Drains == 0 {
+		t.Error("500-cycle epochs over a long run must record drains")
+	}
+	if res.Spins != 0 {
+		t.Error("DRAIN run reported spins")
+	}
+}
+
+func TestTraceEmitsRecords(t *testing.T) {
+	r, err := Build(Params{Width: 4, Height: 4, Scheme: SchemeDRAIN, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	r.Trace = &buf
+	res, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, 0.05, 200, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != TraceHeader {
+		t.Errorf("trace header = %q", lines[0])
+	}
+	// One record per ejection (header excluded) — tracing covers the
+	// whole run, not just the measurement window.
+	if int64(len(lines)-1) != res.Counters.Ejected {
+		t.Errorf("trace has %d records, ejected %d", len(lines)-1, res.Counters.Ejected)
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != strings.Count(TraceHeader, ",") {
+			t.Fatalf("malformed trace record %q", l)
+		}
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for s, want := range map[Scheme]string{
+		SchemeNone: "none", SchemeIdeal: "ideal", SchemeEscapeVC: "escape-vc",
+		SchemeSPIN: "spin", SchemeDRAIN: "drain", SchemeUpDown: "updown",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if Scheme(99).String() == "" {
+		t.Error("unknown scheme should still render")
+	}
+}
+
+func TestBuildRejectsUnknownScheme(t *testing.T) {
+	if _, err := Build(Params{Width: 4, Height: 4, Scheme: Scheme(99)}); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+}
+
+func TestDoRScheme(t *testing.T) {
+	r, err := Build(Params{Width: 4, Height: 4, Scheme: SchemeDoR, Classes: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Net.Config().VNets != 3 {
+		t.Errorf("DoR VNets = %d, want 3 (one per class)", r.Net.Config().VNets)
+	}
+	res, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, 0.05, 500, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MisroutesPerK != 0 {
+		t.Errorf("deterministic DoR misrouted %.2f/1k", res.MisroutesPerK)
+	}
+	if res.Accepted < 0.04 || res.Deadlocked {
+		t.Errorf("DoR degenerate: %+v", res)
+	}
+	// DoR on a faulty mesh must be rejected.
+	if _, err := Build(Params{Width: 4, Height: 4, Faults: 2, Scheme: SchemeDoR, Seed: 7}); err == nil {
+		t.Error("DoR on a faulty mesh should fail")
+	}
+}
+
+func TestSaturationSearchOnRealNetwork(t *testing.T) {
+	// Binary-search the DRAIN saturation point; it must land near the
+	// plateau that the over-saturation probe reports.
+	measure := func(rate float64) (float64, error) {
+		r, err := Build(Params{Width: 4, Height: 4, Scheme: SchemeDRAIN, Seed: 8})
+		if err != nil {
+			return 0, err
+		}
+		res, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, rate, 500, 2500)
+		if err != nil {
+			return 0, err
+		}
+		return res.Accepted, nil
+	}
+	point, err := stats.SearchSaturation(0.02, 0.6, 0.9, 0.02, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Build(Params{Width: 4, Height: 4, Scheme: SchemeDRAIN, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, 0.6, 500, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plateau := res.Accepted
+	if point < plateau*0.6 || point > plateau*1.6 {
+		t.Errorf("searched saturation %.3f far from plateau %.3f", point, plateau)
+	}
+}
+
+func TestStickyEscapeParam(t *testing.T) {
+	sticky, err := Build(Params{Width: 4, Height: 4, Scheme: SchemeDRAIN, StickyEscape: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sticky.Net.Config().NonStickyEscape {
+		t.Error("StickyEscape param ignored")
+	}
+	def, err := Build(Params{Width: 4, Height: 4, Scheme: SchemeDRAIN, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def.Net.Config().NonStickyEscape {
+		t.Error("DRAIN default should be non-sticky")
+	}
+}
+
+func TestRunAppRequiresThreeClasses(t *testing.T) {
+	r, err := Build(Params{Width: 4, Height: 4, Scheme: SchemeDRAIN, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunApp(workload.MustGet("lu"), 10, 1000); err == nil {
+		t.Error("coherence run on 1-class network should fail")
+	}
+}

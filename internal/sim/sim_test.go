@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+
+	"drain/internal/topology"
+	"drain/internal/traffic"
+	"drain/internal/workload"
+)
+
+func TestBuildAllSchemes(t *testing.T) {
+	for _, s := range []Scheme{SchemeNone, SchemeIdeal, SchemeEscapeVC, SchemeSPIN, SchemeDRAIN, SchemeUpDown} {
+		r, err := Build(Params{Width: 4, Height: 4, Scheme: s, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		switch s {
+		case SchemeDRAIN:
+			if r.Drain == nil {
+				t.Errorf("%v: no drain controller", s)
+			}
+			if r.Net.Config().VNets != 1 {
+				t.Errorf("%v: VNets = %d, want 1", s, r.Net.Config().VNets)
+			}
+		case SchemeSPIN:
+			if r.Spin == nil {
+				t.Errorf("%v: no spin controller", s)
+			}
+		case SchemeIdeal:
+			if r.Oracle == nil {
+				t.Errorf("%v: no oracle", s)
+			}
+		}
+	}
+}
+
+func TestVNetDefaults(t *testing.T) {
+	// With 3 classes, the baselines get 3 VNs and DRAIN keeps 1.
+	esc, err := Build(Params{Width: 4, Height: 4, Scheme: SchemeEscapeVC, Classes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if esc.Net.Config().VNets != 3 {
+		t.Errorf("escape VNets = %d, want 3", esc.Net.Config().VNets)
+	}
+	dr, err := Build(Params{Width: 4, Height: 4, Scheme: SchemeDRAIN, Classes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Net.Config().VNets != 1 {
+		t.Errorf("drain VNets = %d, want 1", dr.Net.Config().VNets)
+	}
+}
+
+func TestFaultInjectionIsSeeded(t *testing.T) {
+	a, err := Build(Params{Width: 8, Height: 8, Faults: 8, FaultSeed: 7, Scheme: SchemeDRAIN, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Params{Width: 8, Height: 8, Faults: 8, FaultSeed: 7, Scheme: SchemeDRAIN, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("fault seeds not deterministic")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same FaultSeed produced different topologies")
+		}
+	}
+	if len(ea) != 112-8 {
+		t.Errorf("edges after 8 faults = %d, want 104", len(ea))
+	}
+}
+
+func TestRunSyntheticLowLoad(t *testing.T) {
+	for _, s := range []Scheme{SchemeEscapeVC, SchemeSPIN, SchemeDRAIN} {
+		r, err := Build(Params{Width: 4, Height: 4, Scheme: s, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, 0.02, 1000, 4000)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Accepted < 0.015 || res.Accepted > 0.025 {
+			t.Errorf("%v: accepted %.4f at offered 0.02", s, res.Accepted)
+		}
+		if res.AvgLatency < 3 || res.AvgLatency > 60 {
+			t.Errorf("%v: implausible low-load latency %.1f", s, res.AvgLatency)
+		}
+		if res.Deadlocked {
+			t.Errorf("%v: deadlock at low load", s)
+		}
+	}
+}
+
+func TestRunSyntheticDeterministic(t *testing.T) {
+	run := func() SyntheticResult {
+		r, err := Build(Params{Width: 4, Height: 4, Scheme: SchemeDRAIN, Seed: 9, Epoch: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, 0.1, 500, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.AvgLatency != b.AvgLatency || a.Accepted != b.Accepted || a.Counters.Hops != b.Counters.Hops {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSchemeNoneDetectsDeadlock(t *testing.T) {
+	r, err := Build(Params{
+		Width: 4, Height: 4, Scheme: SchemeNone, Seed: 5,
+		VCsPerVN: 1, EjectCap: 2,
+		DerouteAfter: -1, // strict minimal adaptive deadlocks reliably
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, 0.45, 0, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Error("saturated unprotected network did not report deadlock")
+	}
+	if res.DeadlockCycle <= 0 {
+		t.Error("deadlock cycle not recorded")
+	}
+}
+
+func TestLoadSweepMonotoneThroughput(t *testing.T) {
+	curve, err := LoadSweep(Params{Width: 4, Height: 4, Scheme: SchemeDRAIN, Seed: 6, Epoch: 2000},
+		"uniform", []float64{0.02, 0.10, 0.30}, 500, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	if curve[0].AvgLat > curve[2].AvgLat {
+		t.Errorf("latency decreased with load: %+v", curve)
+	}
+	if curve.Saturation() < curve[0].Accepted {
+		t.Error("saturation below low-load accepted rate")
+	}
+}
+
+func TestRunAppAcrossSchemes(t *testing.T) {
+	prof := workload.MustGet("blackscholes")
+	for _, s := range []Scheme{SchemeEscapeVC, SchemeSPIN, SchemeDRAIN} {
+		r, err := Build(Params{
+			Width: 4, Height: 4, Scheme: s, Classes: 3, Seed: 4,
+			Epoch: 2000, InjectCap: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunApp(prof, 200, 400000)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%v: app did not complete (%d ops, %d in net)",
+				s, res.Protocol.OpsCompleted, r.Net.InFlightPackets())
+		}
+		if res.Runtime <= 0 || res.AvgLatency <= 0 {
+			t.Errorf("%v: degenerate result %+v", s, res)
+		}
+	}
+}
+
+func TestBuildOnCustomTopology(t *testing.T) {
+	g, err := topology.NewChiplet(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := BuildOn(g, nil, Params{Scheme: SchemeDRAIN, Seed: 8, Epoch: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunSynthetic(traffic.UniformRandom{N: g.N()}, 0.05, 500, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted <= 0 {
+		t.Error("no traffic delivered on chiplet topology")
+	}
+}
+
+func TestPortsPerRouter(t *testing.T) {
+	r, err := Build(Params{Width: 8, Height: 8, Scheme: SchemeDRAIN, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8x8 mesh: average degree 3.5 → 4 ports + local = 4..5.
+	if got := r.PortsPerRouter(); got < 4 || got > 5 {
+		t.Errorf("ports per router = %d", got)
+	}
+}

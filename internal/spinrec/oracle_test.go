@@ -1,0 +1,97 @@
+package spinrec
+
+import (
+	"testing"
+
+	"drain/internal/noc"
+	"drain/internal/topology"
+)
+
+func TestOracleDefaultPeriod(t *testing.T) {
+	n := spinNet(t, topology.MustMesh(2, 2).Graph, 1, 1)
+	o := NewOracle(n, 0, noc.LivenessOpts{})
+	if o.period != 8 {
+		t.Errorf("default period = %d, want 8", o.period)
+	}
+}
+
+func TestOracleIdleIsFree(t *testing.T) {
+	n := spinNet(t, topology.MustMesh(3, 3).Graph, 2, 2)
+	o := NewOracle(n, 4, noc.LivenessOpts{})
+	for i := 0; i < 200; i++ {
+		n.Step()
+		if err := o.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Breaks != 0 {
+		t.Errorf("oracle broke %d cycles in an empty network", o.Breaks)
+	}
+}
+
+func TestSpinProbeDelayBeforeRotation(t *testing.T) {
+	// After detection, the spin must wait the probe round-trip before
+	// rotating (2 hops per cycle member at ProbeHopLatency).
+	g, err := topology.NewRing(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := spinNet(t, g, 1, 3)
+	// Plant the canonical ring deadlock directly.
+	for r := 0; r < 6; r++ {
+		if _, err := n.PlacePacket(r, (r+1)%6, (r+3)%6, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := New(n, Config{Timeout: 50, ProbeHopLatency: 2})
+	detectedAt, spunAt := int64(-1), int64(-1)
+	for i := 0; i < 1000 && spunAt < 0; i++ {
+		n.Step()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		st := c.Stats()
+		if detectedAt < 0 && st.Detections > 0 {
+			detectedAt = n.Cycle()
+		}
+		if st.Spins > 0 {
+			spunAt = n.Cycle()
+		}
+	}
+	if detectedAt < 0 || spunAt < 0 {
+		t.Fatalf("detected=%d spun=%d", detectedAt, spunAt)
+	}
+	// 6-member cycle × 2 walks × 2 cycles/hop = 24 cycles of delay.
+	if spunAt-detectedAt < 20 {
+		t.Errorf("spin fired %d cycles after detection; probe delay not charged", spunAt-detectedAt)
+	}
+}
+
+func TestSpinSkipsCheckWhenProgressing(t *testing.T) {
+	// Ejections between checks suppress the (expensive) liveness sweep.
+	m := topology.MustMesh(3, 3)
+	n := spinNet(t, m.Graph, 2, 4)
+	c := New(n, Config{Timeout: 32})
+	for i := 0; i < 1000; i++ {
+		if i%4 == 0 {
+			src, dst := i%9, (i+4)%9
+			if src != dst && n.InjQueueLen(src, 0) < 2 {
+				n.Inject(n.NewPacket(src, dst, 0, 1))
+			}
+		}
+		n.Step()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 9; r++ {
+			n.PopEjected(r, 0)
+		}
+	}
+	st := c.Stats()
+	if st.Checks > 5 {
+		t.Errorf("%d liveness sweeps despite continuous progress", st.Checks)
+	}
+	if st.Spins != 0 {
+		t.Errorf("%d spurious spins", st.Spins)
+	}
+}

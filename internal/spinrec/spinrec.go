@@ -1,0 +1,167 @@
+// Package spinrec models SPIN (Parasar et al.), the reactive
+// deadlock-recovery baseline the DRAIN paper compares against: deadlocks
+// are detected at run time after a timeout, probes traverse and confirm
+// the blocked cycle, and the routers involved then perform a coordinated
+// one-hop "spin" of the cycle's packets.
+//
+// The hardware probe walk is modelled by the wait-for analysis in
+// internal/noc (the probes' observable result is exactly "which cycle of
+// buffers is blocked"), and its latency is charged explicitly: detection
+// is only attempted every Timeout cycles, and a confirmed cycle spins
+// only after a delay proportional to the cycle length (probe propagation
+// plus the synchronization message, as in the SPIN paper). The modelled
+// +15% control area/power overhead is charged in internal/power.
+package spinrec
+
+import (
+	"drain/internal/noc"
+)
+
+// Config parameterizes the SPIN controller.
+type Config struct {
+	// Timeout is the stall time before a router suspects deadlock and
+	// launches a probe (SPIN paper / DRAIN §V-B: 1024 cycles).
+	Timeout int64
+	// ProbeHopLatency is the per-hop latency of probe and move messages.
+	ProbeHopLatency int64
+	// EjectLiveByClass is passed to the liveness analysis: classes whose
+	// ejection queues always drain eventually (protocol sinks). nil means
+	// all classes sink.
+	EjectLiveByClass []bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = 1024
+	}
+	if c.ProbeHopLatency <= 0 {
+		c.ProbeHopLatency = 1
+	}
+}
+
+// Stats reports SPIN activity.
+type Stats struct {
+	Detections int64 // confirmed deadlocks
+	Spins      int64 // forced cycle rotations
+	Probes     int64 // probe messages sent (modelled)
+	Checks     int64 // detection sweeps performed
+}
+
+// Controller drives SPIN recovery over a network. Call Tick once per
+// cycle after Network.Step.
+type Controller struct {
+	cfg Config
+	net *noc.Network
+
+	nextCheckAt int64
+	// pending spin: the cycle confirmed by probes, executing after the
+	// coordination delay.
+	pending     []noc.VCRef
+	pendingAt   int64
+	lastEjected int64
+
+	stats Stats
+}
+
+// New returns a SPIN controller for the network.
+func New(net *noc.Network, cfg Config) *Controller {
+	cfg.setDefaults()
+	return &Controller{
+		cfg:         cfg,
+		net:         net,
+		nextCheckAt: net.Cycle() + cfg.Timeout,
+	}
+}
+
+// Stats returns a snapshot of controller activity.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Tick advances the detector/recovery state machine by one cycle.
+func (c *Controller) Tick() error {
+	now := c.net.Cycle()
+	if c.pending != nil {
+		if now < c.pendingAt {
+			return nil
+		}
+		// Coordinated spin: re-extract the blocked cycle (packets may
+		// have moved since the probe) and rotate it.
+		refs := c.net.FindBlockedCycle(c.opts())
+		if refs != nil {
+			if err := c.net.RotateBlockedCycle(refs); err != nil {
+				return err
+			}
+			c.stats.Spins++
+		}
+		c.pending = nil
+		// Re-arm detection quickly: bursts of deadlocks need back-to-
+		// back recoveries (DRAIN §III-D2 "burst of deadlocks").
+		c.nextCheckAt = now + c.cfg.Timeout/4
+		return nil
+	}
+	if now < c.nextCheckAt {
+		return nil
+	}
+	c.nextCheckAt = now + c.cfg.Timeout
+	// If packets ejected since the last check, the network is making
+	// progress; timeout counters would have been reset. Cheap filter
+	// before the full sweep.
+	if ej := c.net.Counters.Ejected; ej != c.lastEjected {
+		c.lastEjected = ej
+		return nil
+	}
+	c.stats.Checks++
+	refs := c.net.FindBlockedCycle(c.opts())
+	if refs == nil {
+		return nil
+	}
+	c.stats.Detections++
+	// Probe walks the cycle, then a synchronization token walks it again.
+	c.stats.Probes += int64(2 * len(refs))
+	c.net.Counters.Probes += int64(2 * len(refs))
+	c.pending = refs
+	c.pendingAt = now + c.cfg.ProbeHopLatency*int64(2*len(refs))
+	return nil
+}
+
+func (c *Controller) opts() noc.LivenessOpts {
+	return noc.LivenessOpts{EjectLiveByClass: c.cfg.EjectLiveByClass}
+}
+
+// Oracle is an idealized recovery scheme used for the paper's "ideal
+// deadlock-free fully adaptive" baseline (Fig. 5): it detects and breaks
+// deadlocks instantly and at zero modelled cost. It bounds what any
+// recovery scheme could achieve.
+type Oracle struct {
+	net    *noc.Network
+	period int64
+	nextAt int64
+	opts   noc.LivenessOpts
+	Breaks int64
+}
+
+// NewOracle returns an oracle checking every period cycles.
+func NewOracle(net *noc.Network, period int64, opts noc.LivenessOpts) *Oracle {
+	if period <= 0 {
+		period = 8
+	}
+	return &Oracle{net: net, period: period, nextAt: net.Cycle() + period, opts: opts}
+}
+
+// Tick breaks every blocked cycle present at the check boundary.
+func (o *Oracle) Tick() error {
+	if o.net.Cycle() < o.nextAt {
+		return nil
+	}
+	o.nextAt = o.net.Cycle() + o.period
+	for i := 0; i < 64; i++ { // bound work per check
+		refs := o.net.FindBlockedCycle(o.opts)
+		if refs == nil {
+			return nil
+		}
+		if err := o.net.RotateBlockedCycle(refs); err != nil {
+			return err
+		}
+		o.Breaks++
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSearchSaturationConverges(t *testing.T) {
+	// Synthetic network model: accepts all traffic up to 0.23, plateaus
+	// beyond.
+	model := func(rate float64) (float64, error) {
+		return math.Min(rate, 0.23), nil
+	}
+	got, err := SearchSaturation(0.01, 0.5, 0.95, 0.005, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acceptance criterion min(rate,0.23) ≥ 0.95·rate holds up to
+	// 0.23/0.95 ≈ 0.242.
+	if got < 0.23 || got > 0.25 {
+		t.Errorf("saturation = %.4f, want ≈0.242", got)
+	}
+}
+
+func TestSearchSaturationValidation(t *testing.T) {
+	ok := func(float64) (float64, error) { return 0, nil }
+	cases := [][4]float64{
+		{0, 0.5, 0.9, 0.01},   // lo ≤ 0
+		{0.5, 0.1, 0.9, 0.01}, // hi ≤ lo
+		{0.1, 0.5, 0, 0.01},   // accept ≤ 0
+		{0.1, 0.5, 1.5, 0.01}, // accept > 1
+		{0.1, 0.5, 0.9, 0},    // tol ≤ 0
+	}
+	for i, c := range cases {
+		if _, err := SearchSaturation(c[0], c[1], c[2], c[3], ok); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSearchSaturationPropagatesErrors(t *testing.T) {
+	bad := func(float64) (float64, error) { return 0, errInvalidSearch }
+	if _, err := SearchSaturation(0.1, 0.5, 0.9, 0.01, bad); err == nil {
+		t.Error("measurement error swallowed")
+	}
+}

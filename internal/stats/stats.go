@@ -1,0 +1,149 @@
+// Package stats provides the measurement primitives the evaluation
+// harness uses: latency samples with exact percentiles, throughput
+// windows, and load-sweep summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates scalar observations (latencies, hop counts).
+type Sample struct {
+	vals   []int64
+	sorted bool
+	sum    int64
+	max    int64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v int64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+	s.sum += v
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (s *Sample) Count() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean (0 with no observations).
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(len(s.vals))
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() int64 { return s.max }
+
+// Percentile returns the q-quantile (0 < q ≤ 1) using the
+// nearest-rank method; 0 with no observations.
+func (s *Sample) Percentile(q float64) int64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Slice(s.vals, func(i, j int) bool { return s.vals[i] < s.vals[j] })
+		s.sorted = true
+	}
+	rank := int(math.Ceil(q*float64(len(s.vals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.vals) {
+		rank = len(s.vals) - 1
+	}
+	return s.vals[rank]
+}
+
+// P99 is shorthand for the 99th percentile (paper Fig. 15).
+func (s *Sample) P99() int64 { return s.Percentile(0.99) }
+
+// Reset discards all observations.
+func (s *Sample) Reset() { s.vals = s.vals[:0]; s.sorted = false; s.sum = 0; s.max = 0 }
+
+// LoadPoint is one measurement on a latency/throughput curve.
+type LoadPoint struct {
+	Offered  float64 // offered load, packets/node/cycle
+	Accepted float64 // accepted throughput, packets received/node/cycle
+	AvgLat   float64 // mean packet network latency, cycles
+	P99Lat   int64   // tail latency, cycles
+}
+
+// String formats a point for experiment tables.
+func (p LoadPoint) String() string {
+	return fmt.Sprintf("offered=%.3f accepted=%.3f lat=%.1f p99=%d", p.Offered, p.Accepted, p.AvgLat, p.P99Lat)
+}
+
+// Curve is a sweep of load points at increasing offered load.
+type Curve []LoadPoint
+
+// Saturation returns the accepted throughput at the highest offered load
+// (the post-saturation plateau, the paper's "saturation throughput" in
+// packets received/node/cycle).
+func (c Curve) Saturation() float64 {
+	best := 0.0
+	for _, p := range c {
+		if p.Accepted > best {
+			best = p.Accepted
+		}
+	}
+	return best
+}
+
+// LowLoadLatency returns the average latency of the lowest offered load
+// point (the paper's "low-load latency").
+func (c Curve) LowLoadLatency() float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	return c[0].AvgLat
+}
+
+// SearchSaturation binary-searches for the saturation offered load: the
+// highest rate at which measure(rate) still accepts ≥ accept×rate. The
+// callback runs a fresh simulation per probe; tol bounds the search
+// interval. This is the textbook saturation-point method for
+// latency/throughput studies (an alternative to the over-saturation
+// plateau that Curve.Saturation reports).
+func SearchSaturation(lo, hi, accept, tol float64, measure func(rate float64) (accepted float64, err error)) (float64, error) {
+	if lo <= 0 || hi <= lo || accept <= 0 || accept > 1 || tol <= 0 {
+		return 0, errInvalidSearch
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		acc, err := measure(mid)
+		if err != nil {
+			return 0, err
+		}
+		if acc >= accept*mid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+var errInvalidSearch = fmt.Errorf("stats: invalid saturation search parameters")
+
+// SaturationOffered estimates the offered load at which latency exceeds
+// latFactor × the low-load latency (a conventional saturation-point
+// definition); returns the highest swept load if never exceeded.
+func (c Curve) SaturationOffered(latFactor float64) float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	base := c[0].AvgLat
+	for _, p := range c {
+		if p.AvgLat > latFactor*base {
+			return p.Offered
+		}
+	}
+	return c[len(c)-1].Offered
+}

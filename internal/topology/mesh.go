@@ -1,0 +1,192 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Mesh is a W×H 2D mesh topology with router r at coordinates
+// (r mod W, r div W). It embeds Graph and adds coordinate helpers that
+// dimension-order routing needs.
+type Mesh struct {
+	*Graph
+	W, H int
+}
+
+// NewMesh builds a W×H 2D mesh.
+func NewMesh(w, h int) (*Mesh, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("topology: mesh dimensions %dx%d must be positive", w, h)
+	}
+	var edges []Edge
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, Edge{A: id(x, y), B: id(x+1, y)})
+			}
+			if y+1 < h {
+				edges = append(edges, Edge{A: id(x, y), B: id(x, y+1)})
+			}
+		}
+	}
+	g, err := New(w*h, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Mesh{Graph: g, W: w, H: h}, nil
+}
+
+// MustMesh is NewMesh but panics on error.
+func MustMesh(w, h int) *Mesh {
+	m, err := NewMesh(w, h)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// XY returns the mesh coordinates of router r.
+func (m *Mesh) XY(r int) (x, y int) { return r % m.W, r / m.W }
+
+// RouterAt returns the router ID at mesh coordinates (x, y).
+func (m *Mesh) RouterAt(x, y int) int { return y*m.W + x }
+
+// NewRing builds an n-router bidirectional ring (n ≥ 3).
+func NewRing(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs at least 3 routers, got %d", n)
+	}
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{A: i, B: (i + 1) % n})
+	}
+	return New(n, edges)
+}
+
+// NewRandomConnected builds a random connected topology over n routers
+// with approximately extra additional edges beyond a random spanning tree.
+// Used for property tests and for modelling random/irregular topologies
+// (paper §VI "Random Topologies").
+func NewRandomConnected(n, extra int, rng *rand.Rand) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: router count %d must be positive", n)
+	}
+	var edges []Edge
+	seen := make(map[Edge]bool)
+	add := func(a, b int) bool {
+		if a == b {
+			return false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		e := Edge{A: a, B: b}
+		if seen[e] {
+			return false
+		}
+		seen[e] = true
+		edges = append(edges, e)
+		return true
+	}
+	// Random spanning tree: attach each router to a random earlier one.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		add(perm[i], perm[rng.IntN(i)])
+	}
+	maxEdges := n * (n - 1) / 2
+	for tries := 0; extra > 0 && len(edges) < maxEdges && tries < 50*extra+100; tries++ {
+		if add(rng.IntN(n), rng.IntN(n)) {
+			extra--
+		}
+	}
+	return New(n, edges)
+}
+
+// NewRandomRegular builds a connected random d-regular-ish topology over
+// n routers (each router gets degree d where parity permits, via a
+// pairing-with-retry construction). Low-radix random topologies of this
+// kind (e.g. Dodec's degree-3 graphs) offer low diameter but are hard to
+// make deadlock-free with turn restrictions — the paper's §VI argues
+// DRAIN suits them. Falls back to adding a spanning tree's edges if the
+// pairing leaves the graph disconnected.
+func NewRandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if n < 4 || d < 2 || d >= n {
+		return nil, fmt.Errorf("topology: bad random-regular parameters n=%d d=%d", n, d)
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		seen := make(map[Edge]bool)
+		deg := make([]int, n)
+		var edges []Edge
+		// Configuration-model style pairing with rejection.
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		for i := 0; i+1 < len(stubs); i += 2 {
+			a, b := stubs[i], stubs[i+1]
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			e := Edge{A: a, B: b}
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			deg[a]++
+			deg[b]++
+			edges = append(edges, e)
+		}
+		g, err := New(n, edges)
+		if err != nil {
+			continue
+		}
+		if g.Connected() {
+			return g, nil
+		}
+	}
+	// Rare fallback: random connected graph with comparable edge count.
+	return NewRandomConnected(n, n*(d-2)/2, rng)
+}
+
+// NewChiplet models a chiplet-based system (paper §VI "Heterogeneous
+// Systems"): several independently designed chiplet meshes connected
+// through a small interposer ring. chiplets is the number of chiplet
+// meshes, each of size cw×ch; each chiplet's corner router connects to one
+// interposer router.
+func NewChiplet(chiplets, cw, ch int) (*Graph, error) {
+	if chiplets < 2 {
+		return nil, fmt.Errorf("topology: chiplet system needs at least 2 chiplets, got %d", chiplets)
+	}
+	per := cw * ch
+	n := chiplets*per + chiplets // one interposer router per chiplet
+	var edges []Edge
+	for c := 0; c < chiplets; c++ {
+		base := c * per
+		id := func(x, y int) int { return base + y*cw + x }
+		for y := 0; y < ch; y++ {
+			for x := 0; x < cw; x++ {
+				if x+1 < cw {
+					edges = append(edges, Edge{A: id(x, y), B: id(x+1, y)})
+				}
+				if y+1 < ch {
+					edges = append(edges, Edge{A: id(x, y), B: id(x, y+1)})
+				}
+			}
+		}
+		interposer := chiplets*per + c
+		edges = append(edges, Edge{A: id(0, 0), B: interposer})
+		// Interposer ring; with exactly 2 chiplets the "ring" is one edge.
+		if c+1 < chiplets || chiplets > 2 {
+			next := chiplets*per + (c+1)%chiplets
+			edges = append(edges, Edge{A: interposer, B: next})
+		}
+	}
+	return New(n, edges)
+}

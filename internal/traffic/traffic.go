@@ -1,0 +1,215 @@
+// Package traffic provides the synthetic traffic patterns and open-loop
+// injection processes used by the paper's synthetic evaluations
+// (uniform random and transpose in Figs. 10, 11 and 14, plus the usual
+// complements for wider coverage).
+package traffic
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"drain/internal/noc"
+)
+
+// Pattern maps a source node to a destination node.
+type Pattern interface {
+	// Dest returns the destination for a packet from src; it may consult
+	// rng for randomized patterns. Implementations must never return src
+	// unless no other node exists.
+	Dest(src int, rng *rand.Rand) int
+	Name() string
+}
+
+// UniformRandom sends each packet to a uniformly random other node.
+type UniformRandom struct{ N int }
+
+// Dest implements Pattern.
+func (u UniformRandom) Dest(src int, rng *rand.Rand) int {
+	if u.N <= 1 {
+		return src
+	}
+	d := rng.IntN(u.N - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Name implements Pattern.
+func (u UniformRandom) Name() string { return "uniform_random" }
+
+// Transpose sends (x,y) to (y,x) on a W×W mesh numbering.
+type Transpose struct{ W int }
+
+// Dest implements Pattern.
+func (t Transpose) Dest(src int, _ *rand.Rand) int {
+	x, y := src%t.W, src/t.W
+	return x*t.W + y
+}
+
+// Name implements Pattern.
+func (t Transpose) Name() string { return "transpose" }
+
+// BitComplement sends node i to node (N-1-i).
+type BitComplement struct{ N int }
+
+// Dest implements Pattern.
+func (b BitComplement) Dest(src int, _ *rand.Rand) int { return b.N - 1 - src }
+
+// Name implements Pattern.
+func (b BitComplement) Name() string { return "bit_complement" }
+
+// Shuffle sends node i to node obtained by rotating its bits left by one
+// (i must index a power-of-two network).
+type Shuffle struct{ Bits int }
+
+// Dest implements Pattern.
+func (s Shuffle) Dest(src int, _ *rand.Rand) int {
+	mask := (1 << s.Bits) - 1
+	return ((src << 1) | (src >> (s.Bits - 1))) & mask
+}
+
+// Name implements Pattern.
+func (s Shuffle) Name() string { return "shuffle" }
+
+// Hotspot sends a fraction of traffic to a fixed hot node and the rest
+// uniformly.
+type Hotspot struct {
+	N        int
+	Hot      int
+	Fraction float64 // probability a packet targets Hot
+}
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src int, rng *rand.Rand) int {
+	if rng.Float64() < h.Fraction && h.Hot != src {
+		return h.Hot
+	}
+	return UniformRandom{N: h.N}.Dest(src, rng)
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return "hotspot" }
+
+// Tornado sends each node halfway around its row on a W-wide mesh
+// (adversarial for minimal routing on meshes).
+type Tornado struct{ W int }
+
+// Dest implements Pattern.
+func (t Tornado) Dest(src int, _ *rand.Rand) int {
+	x, y := src%t.W, src/t.W
+	return y*t.W + (x+t.W/2)%t.W
+}
+
+// Name implements Pattern.
+func (t Tornado) Name() string { return "tornado" }
+
+// Neighbor sends each node to its +1 ring neighbor (best-case locality).
+type Neighbor struct{ N int }
+
+// Dest implements Pattern.
+func (nb Neighbor) Dest(src int, _ *rand.Rand) int { return (src + 1) % nb.N }
+
+// Name implements Pattern.
+func (nb Neighbor) Name() string { return "neighbor" }
+
+// ByName constructs a pattern for an n-node network (w is the mesh width
+// for transpose and tornado). Known names: uniform, transpose, bitcomp,
+// shuffle, hotspot, tornado, neighbor.
+func ByName(name string, n, w int) (Pattern, error) {
+	switch name {
+	case "uniform", "uniform_random":
+		return UniformRandom{N: n}, nil
+	case "transpose":
+		if w*w != n {
+			return nil, fmt.Errorf("traffic: transpose needs a square mesh, have n=%d w=%d", n, w)
+		}
+		return Transpose{W: w}, nil
+	case "bitcomp", "bit_complement":
+		return BitComplement{N: n}, nil
+	case "shuffle":
+		bits := 0
+		for 1<<bits < n {
+			bits++
+		}
+		if 1<<bits != n {
+			return nil, fmt.Errorf("traffic: shuffle needs power-of-two nodes, have %d", n)
+		}
+		return Shuffle{Bits: bits}, nil
+	case "hotspot":
+		return Hotspot{N: n, Hot: n / 2, Fraction: 0.2}, nil
+	case "tornado":
+		if w <= 0 || n%w != 0 {
+			return nil, fmt.Errorf("traffic: tornado needs a mesh width dividing n, have n=%d w=%d", n, w)
+		}
+		return Tornado{W: w}, nil
+	case "neighbor":
+		return Neighbor{N: n}, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+	}
+}
+
+// Generator drives open-loop Bernoulli injection into a network: each
+// node independently creates a packet with probability Rate each cycle.
+type Generator struct {
+	Pattern Pattern
+	// Rate is offered load in packets/node/cycle.
+	Rate float64
+	// CtrlFraction of packets are 1-flit control packets; the rest are
+	// DataFlits-sized (mirrors a coherence mix on the synthetic runs).
+	CtrlFraction float64
+	DataFlits    int
+	// Class assigned to generated packets.
+	Class int
+	// InjQueueCap skips injection at nodes whose queue is backed up
+	// beyond this depth (keeps open-loop offered load well-defined
+	// instead of accumulating unbounded queues). 0 disables the bound.
+	InjQueueCap int
+
+	rng *rand.Rand
+
+	// Created counts generation attempts that were actually injected.
+	Created int64
+	// Skipped counts injections suppressed by a full queue.
+	Skipped int64
+}
+
+// NewGenerator returns a generator seeded deterministically.
+func NewGenerator(p Pattern, rate float64, seed uint64) *Generator {
+	return &Generator{
+		Pattern:      p,
+		Rate:         rate,
+		CtrlFraction: 0.5,
+		DataFlits:    5,
+		InjQueueCap:  8,
+		rng:          rand.New(rand.NewPCG(seed, seed^0xa5a5a5a55a5a5a5a)),
+	}
+}
+
+// Tick injects this cycle's packets into the network.
+func (g *Generator) Tick(n *noc.Network) {
+	nodes := n.Graph().N()
+	for src := 0; src < nodes; src++ {
+		if g.rng.Float64() >= g.Rate {
+			continue
+		}
+		if g.InjQueueCap > 0 && n.InjQueueLen(src, g.Class) >= g.InjQueueCap {
+			g.Skipped++
+			continue
+		}
+		dst := g.Pattern.Dest(src, g.rng)
+		if dst == src {
+			continue
+		}
+		flits := 1
+		if g.rng.Float64() >= g.CtrlFraction {
+			flits = g.DataFlits
+		}
+		if n.Inject(n.NewPacket(src, dst, g.Class, flits)) {
+			g.Created++
+		} else {
+			g.Skipped++
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestGetAndNames(t *testing.T) {
+	for _, n := range Names() {
+		p, err := Get(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if p.Name != n {
+			t.Errorf("profile %q reports name %q", n, p.Name)
+		}
+		if p.Issue <= 0 || p.Issue >= 1 {
+			t.Errorf("%s: issue prob %v out of range", n, p.Issue)
+		}
+		if p.SharedFrac < 0 || p.SharedFrac > 1 || p.WriteFrac < 0 || p.WriteFrac > 1 {
+			t.Errorf("%s: fractions out of range", n)
+		}
+		if p.PrivateLines <= 0 || p.SharedLines <= 0 {
+			t.Errorf("%s: empty address regions", n)
+		}
+	}
+	if _, err := Get("doom3"); err == nil {
+		t.Error("unknown profile should fail")
+	}
+}
+
+func TestSuites(t *testing.T) {
+	if got := len(Suite("parsec")); got != 5 {
+		t.Errorf("parsec suite has %d profiles, want 5", got)
+	}
+	if got := len(Suite("ligra")); got != 6 {
+		t.Errorf("ligra suite has %d profiles, want 6", got)
+	}
+	if got := len(Suite("splash2")); got != 4 {
+		t.Errorf("splash2 suite has %d profiles, want 4", got)
+	}
+	if got := len(Parsec5()); got != 5 {
+		t.Errorf("Parsec5 returned %d", got)
+	}
+}
+
+func TestCannealIsMostIntensiveParsec(t *testing.T) {
+	// Paper Fig. 3: canneal has the highest injection rate of the five.
+	c := MustGet("canneal")
+	for _, p := range Parsec5() {
+		if p.Name != "canneal" && p.Issue >= c.Issue {
+			t.Errorf("%s issue %v ≥ canneal %v", p.Name, p.Issue, c.Issue)
+		}
+	}
+}
+
+func TestAddressRegionsDisjoint(t *testing.T) {
+	p := MustGet("canneal")
+	rng := rand.New(rand.NewPCG(1, 2))
+	sawShared, sawPrivate := false, false
+	for i := 0; i < 5000; i++ {
+		addr, _ := p.Next(3, rng)
+		if addr >= sharedBase {
+			sawShared = true
+			if addr >= sharedBase+p.SharedLines {
+				t.Fatal("shared address out of region")
+			}
+		} else {
+			sawPrivate = true
+			if addr < 3<<20 || addr >= 3<<20+p.PrivateLines {
+				t.Fatal("private address outside core 3's region")
+			}
+		}
+	}
+	if !sawShared || !sawPrivate {
+		t.Error("access stream did not cover both regions")
+	}
+	// Different cores' private regions never collide.
+	a0, _ := p.Next(0, rng)
+	a1, _ := p.Next(1, rng)
+	if a0>>20 == a1>>20 && a0 < sharedBase && a1 < sharedBase {
+		// Same upper bits would mean same region; cores 0 and 1 differ.
+		t.Error("private regions collide")
+	}
+}
+
+func TestWriteFractionRealized(t *testing.T) {
+	p := MustGet("radix") // WriteFrac 0.40
+	rng := rand.New(rand.NewPCG(3, 4))
+	writes := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if _, w := p.Next(0, rng); w {
+			writes++
+		}
+	}
+	frac := float64(writes) / trials
+	if frac < 0.36 || frac > 0.44 {
+		t.Errorf("realized write fraction %v, want ≈0.40", frac)
+	}
+}

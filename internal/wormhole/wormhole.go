@@ -1,0 +1,203 @@
+// Package wormhole implements the packet truncation and reassembly
+// mechanism DRAIN uses to support flit-based (wormhole) flow control
+// (paper §III-C3). Our network model, like the paper's implementation,
+// uses virtual cut-through — packets never span routers, so drains never
+// split them. Under wormhole flow control a drain's forced turn can
+// split a packet mid-body: the router then
+//
+//  1. encodes the last downstream flit as a tail flit, and
+//  2. embeds the original header information into the first upstream
+//     flit,
+//
+// producing two self-routing sub-packets. At the destination, flits are
+// buffered at the MSHRs and the full packet is reassembled once every
+// flit has arrived, in any sub-packet order.
+//
+// This package provides that protocol — Truncate and Reassembler — with
+// the invariants the paper's correctness depends on: truncation never
+// loses or duplicates a flit, sub-packets remain well-formed (head …
+// tail), and reassembly completes exactly when all original flits have
+// arrived.
+package wormhole
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Header carries the routing/protocol information of an original packet;
+// truncation copies it into each sub-packet's synthesized head flit.
+type Header struct {
+	PacketID int64
+	Src, Dst int
+	Class    int
+	// TotalFlits is the original packet length, so the reassembler knows
+	// when it is complete.
+	TotalFlits int
+}
+
+// Flit is one flow-control unit.
+type Flit struct {
+	Header Header
+	// Seq is the flit's position in the ORIGINAL packet (0-based); it is
+	// preserved across truncations so reassembly can restore order.
+	Seq  int
+	Head bool // first flit of its (sub-)packet, carries Header
+	Tail bool // last flit of its (sub-)packet
+}
+
+// SubPacket is a contiguous run of an original packet's flits that
+// travels as an independent unit after truncation.
+type SubPacket struct {
+	Flits []Flit
+}
+
+// Validate checks sub-packet well-formedness: non-empty, head first,
+// tail last, contiguous ascending Seq, consistent headers.
+func (s SubPacket) Validate() error {
+	if len(s.Flits) == 0 {
+		return errors.New("wormhole: empty sub-packet")
+	}
+	if !s.Flits[0].Head {
+		return errors.New("wormhole: first flit is not a head")
+	}
+	if !s.Flits[len(s.Flits)-1].Tail {
+		return errors.New("wormhole: last flit is not a tail")
+	}
+	h := s.Flits[0].Header
+	for i, f := range s.Flits {
+		if f.Header != h {
+			return fmt.Errorf("wormhole: flit %d header mismatch", i)
+		}
+		if i > 0 && f.Seq != s.Flits[i-1].Seq+1 {
+			return fmt.Errorf("wormhole: flit %d breaks Seq contiguity", i)
+		}
+		if f.Head && i != 0 {
+			return fmt.Errorf("wormhole: interior head at %d", i)
+		}
+		if f.Tail && i != len(s.Flits)-1 {
+			return fmt.Errorf("wormhole: interior tail at %d", i)
+		}
+	}
+	return nil
+}
+
+// NewPacket builds the original (untruncated) sub-packet for a header.
+func NewPacket(h Header) SubPacket {
+	if h.TotalFlits <= 0 {
+		panic("wormhole: packet needs at least one flit")
+	}
+	s := SubPacket{Flits: make([]Flit, h.TotalFlits)}
+	for i := range s.Flits {
+		s.Flits[i] = Flit{Header: h, Seq: i}
+	}
+	s.Flits[0].Head = true
+	s.Flits[h.TotalFlits-1].Tail = true
+	return s
+}
+
+// Truncate splits s after its first `after` flits (0 < after < len):
+// the first part is the downstream portion (already past the drain
+// turn), whose last flit the router re-encodes as a tail; the second is
+// the upstream portion, whose first flit receives a synthesized head
+// with the embedded header. Single-flit sub-packets cannot be truncated.
+func Truncate(s SubPacket, after int) (down, up SubPacket, err error) {
+	if err := s.Validate(); err != nil {
+		return down, up, err
+	}
+	if after <= 0 || after >= len(s.Flits) {
+		return down, up, fmt.Errorf("wormhole: cannot truncate %d-flit sub-packet after %d", len(s.Flits), after)
+	}
+	down = SubPacket{Flits: append([]Flit(nil), s.Flits[:after]...)}
+	up = SubPacket{Flits: append([]Flit(nil), s.Flits[after:]...)}
+	// Router modifications (paper §III-C3): new tail downstream, new
+	// head (with embedded header) upstream.
+	down.Flits[len(down.Flits)-1].Tail = true
+	up.Flits[0].Head = true
+	return down, up, nil
+}
+
+// Reassembler collects sub-packet flits at a destination's MSHRs and
+// reports completed packets.
+type Reassembler struct {
+	pending map[int64]*assembly
+	// Completed counts fully reassembled packets.
+	Completed int64
+}
+
+type assembly struct {
+	header Header
+	got    map[int]bool
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{pending: make(map[int64]*assembly)}
+}
+
+// Pending returns the number of partially reassembled packets.
+func (r *Reassembler) Pending() int { return len(r.pending) }
+
+// Accept buffers one arriving sub-packet. It returns the reassembled
+// original packet (flits in order) when this sub-packet completes it,
+// or nil if more flits are still missing.
+func (r *Reassembler) Accept(s SubPacket) (*SubPacket, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	h := s.Flits[0].Header
+	a := r.pending[h.PacketID]
+	if a == nil {
+		a = &assembly{header: h, got: make(map[int]bool, h.TotalFlits)}
+		r.pending[h.PacketID] = a
+	}
+	if a.header != h {
+		return nil, fmt.Errorf("wormhole: packet %d header mismatch across sub-packets", h.PacketID)
+	}
+	for _, f := range s.Flits {
+		if f.Seq < 0 || f.Seq >= h.TotalFlits {
+			return nil, fmt.Errorf("wormhole: packet %d flit seq %d out of range", h.PacketID, f.Seq)
+		}
+		if a.got[f.Seq] {
+			return nil, fmt.Errorf("wormhole: packet %d duplicate flit %d", h.PacketID, f.Seq)
+		}
+		a.got[f.Seq] = true
+	}
+	if len(a.got) < h.TotalFlits {
+		return nil, nil
+	}
+	delete(r.pending, h.PacketID)
+	r.Completed++
+	out := NewPacket(h)
+	return &out, nil
+}
+
+// Scatter recursively truncates a packet into n sub-packets at the given
+// cut points (ascending flit offsets into the original packet); it
+// models a packet truncated by several successive drain windows. Cut
+// points must be strictly inside (0, TotalFlits).
+func Scatter(h Header, cuts []int) ([]SubPacket, error) {
+	sorted := append([]int(nil), cuts...)
+	sort.Ints(sorted)
+	prev := 0
+	for _, c := range sorted {
+		if c <= prev || c >= h.TotalFlits {
+			return nil, fmt.Errorf("wormhole: bad cut %d for %d-flit packet", c, h.TotalFlits)
+		}
+		prev = c
+	}
+	rest := NewPacket(h)
+	var out []SubPacket
+	offset := 0
+	for _, c := range sorted {
+		down, up, err := Truncate(rest, c-offset)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, down)
+		rest = up
+		offset = c
+	}
+	return append(out, rest), nil
+}
