@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check build vet test-race test-allocs bench results clean
+
+## check: build + vet + race tests + the hot-path allocation guard.
+# The race run uses -short (race instrumentation makes the simulator ~10x
+# slower); the allocation guard needs a separate non-race run because the
+# detector's bookkeeping allocations would trip it (TestStepAllocs skips
+# itself under race).
+check: build vet test-race test-allocs
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test-race:
+	$(GO) test -race -short ./...
+
+test-allocs:
+	$(GO) test -run 'TestStepAllocs|TestGoldenCounters' -count=1 . ./internal/sim
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+## results: regenerate the quick-scale markdown tables under results/.
+results:
+	$(GO) run ./cmd/experiments -fig all -scale quick -out results
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,76 @@
+package drain
+
+// Steady-state allocation guard for the simulator hot path. The per-cycle
+// core (Network.Step: arrival completion, switch/VC allocation, injection)
+// must not heap-allocate once warm: routing candidates are precomputed
+// immutable tables, arbitration uses Network-owned scratch arenas, and the
+// injection/ejection queues are pre-sized rings. Packet *creation* is the
+// workload's allocation and happens outside Step.
+
+import (
+	"testing"
+
+	"drain/internal/sim"
+	"drain/internal/traffic"
+)
+
+// stepAllocsPerCycle measures amortized heap allocations per Network.Step
+// on a warmed-up, loaded 8x8 DRAIN network whose injection queues were
+// pre-filled so the measured cycles keep injecting without creating
+// packets.
+func stepAllocsPerCycle(tb testing.TB) float64 {
+	tb.Helper()
+	r, err := sim.Build(sim.Params{Width: 8, Height: 8, Scheme: sim.SchemeDRAIN, Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gen := traffic.NewGenerator(traffic.UniformRandom{N: 64}, 0.20, 7)
+	sink := func() {
+		for n := 0; n < 64; n++ {
+			for p := r.Net.PopEjected(n, 0); p != nil; p = r.Net.PopEjected(n, 0) {
+			}
+		}
+	}
+	// Warm up: real traffic grows every scratch arena, ring and the
+	// in-flight slice to its working size.
+	for cyc := 0; cyc < 2000; cyc++ {
+		gen.Tick(r.Net)
+		r.Net.Step()
+		if err := r.TickScheme(); err != nil {
+			tb.Fatal(err)
+		}
+		sink()
+	}
+	// Stock the injection queues up front (packet allocation happens
+	// here, outside the measured region) so injectFromQueues stays busy
+	// for the whole measurement.
+	for i := 0; i < 20; i++ {
+		gen.Tick(r.Net)
+	}
+	return testing.AllocsPerRun(400, func() {
+		r.Net.Step()
+		sink()
+	})
+}
+
+// TestStepAllocs fails when the steady-state hot path regresses to
+// allocating: the budget is ≤ 2 amortized allocations per cycle (the
+// target is 0; the slack absorbs one-off growth of a scratch buffer that
+// crosses its previous high-water mark mid-measurement).
+func TestStepAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector adds bookkeeping allocations")
+	}
+	if allocs := stepAllocsPerCycle(t); allocs > 2 {
+		t.Errorf("Network.Step allocates %.2f times per steady-state cycle, budget is 2", allocs)
+	}
+}
+
+// BenchmarkStepAllocs reports the amortized allocation count alongside
+// the figure benchmarks (0 in steady state; see TestStepAllocs for the
+// enforced budget).
+func BenchmarkStepAllocs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(stepAllocsPerCycle(b), "allocs/cycle")
+	}
+}

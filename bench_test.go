@@ -13,6 +13,7 @@ package drain
 //	go run ./cmd/experiments -fig all -scale full   # paper-scale sweep
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -62,6 +63,18 @@ func BenchmarkFig14Epoch(b *testing.B)              { runExperiment(b, "fig14") 
 func BenchmarkFig15TailLatency(b *testing.B)        { runExperiment(b, "fig15") }
 func BenchmarkHeadline(b *testing.B)                { runExperiment(b, "headline") }
 func BenchmarkDiscussionTopologies(b *testing.B)    { runExperiment(b, "disc") }
+
+// BenchmarkFig10SaturationParallel is BenchmarkFig10Saturation with the
+// experiment harness fanning its independent runs across GOMAXPROCS
+// workers (the cmd/experiments -parallel default). Comparing the two
+// shows the sweep-level speedup on multi-core hosts; the result tables
+// are identical either way.
+func BenchmarkFig10SaturationParallel(b *testing.B) {
+	prev := experiments.Parallelism()
+	experiments.SetParallelism(runtime.GOMAXPROCS(0))
+	defer experiments.SetParallelism(prev)
+	runExperiment(b, "fig10")
+}
 
 // BenchmarkSimulatorCycles measures raw simulator speed: router-cycles
 // per second on a loaded 8x8 DRAIN network (substrate cost, Table II

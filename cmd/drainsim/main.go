@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"drain/internal/sim"
@@ -55,7 +57,36 @@ func main() {
 	maxCycles := flag.Int64("max-cycles", 5_000_000, "cycle budget for -workload runs")
 	tracePath := flag.String("trace", "", "write a per-packet CSV trace to this file")
 	sweep := flag.String("sweep", "", "comma-separated offered loads for a latency/throughput sweep (overrides -rate)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		atExit = append(atExit, pprof.StopCPUProfile)
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		atExit = append(atExit, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "drainsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "drainsim:", err)
+			}
+		})
+	}
+	defer runAtExit()
 
 	sch, err := parseScheme(*scheme)
 	if err != nil {
@@ -164,7 +195,20 @@ func main() {
 	}
 }
 
+// atExit holds profile-flushing hooks; fatal runs them before exiting
+// (os.Exit skips deferred calls) and main defers runAtExit for the
+// normal-return path.
+var atExit []func()
+
+func runAtExit() {
+	for i := len(atExit) - 1; i >= 0; i-- {
+		atExit[i]()
+	}
+	atExit = nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "drainsim:", err)
+	runAtExit()
 	os.Exit(1)
 }

@@ -15,18 +15,29 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"drain/internal/experiments"
 )
 
+// main defers to run so the profile-flushing defers fire before the
+// process exits (os.Exit would skip them).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	fig := flag.String("fig", "all", "comma-separated experiment IDs (fig3..fig15, headline) or 'all'")
 	scale := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	out := flag.String("out", "", "directory to write per-figure markdown files (optional)")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this JSON file")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent simulation runs (result tables are identical for any value)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
 
@@ -34,7 +45,36 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
+	}
+
+	experiments.SetParallelism(*parallel)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			}
+		}()
 	}
 
 	var sc experiments.Scale
@@ -45,7 +85,7 @@ func main() {
 		sc = experiments.Full
 	default:
 		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
-		os.Exit(2)
+		return 2
 	}
 
 	var ids []string
@@ -102,12 +142,12 @@ func main() {
 		if *out != "" {
 			if err := os.MkdirAll(*out, 0o755); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			path := filepath.Join(*out, id+".md")
 			if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
@@ -115,14 +155,15 @@ func main() {
 		data, err := json.MarshalIndent(jsonEntries, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 	"math/rand/v2"
+	"slices"
 
 	"drain/internal/noc"
 )
@@ -116,6 +117,13 @@ type System struct {
 	nodes []*node
 	rng   *rand.Rand
 	stats Stats
+
+	// Scratch for sorting map keys before order-sensitive operations
+	// (Go map iteration order is randomized per run; anything that sends
+	// messages or consumes RNG draws in map order would make runs with
+	// the same seed diverge).
+	scrAddrs   []int64
+	scrSharers []int
 }
 
 // New builds a coherence system over net; the network must be configured
@@ -398,27 +406,48 @@ func (s *System) pickVictim(r int) (int64, bool) {
 	if len(nd.lines) < s.cfg.L1Lines {
 		return -1, false
 	}
-	// Random replacement: deterministic iteration order is not guaranteed
-	// by Go maps, so pick via reservoir sampling with the system RNG.
-	var victim int64
-	i := 0
+	// Random replacement, independent of map iteration order: one RNG
+	// draw salts an integer hash and the line with the smallest hash is
+	// evicted. (Reservoir sampling over the map is not reproducible —
+	// the draw count is fixed but which element survives follows Go's
+	// per-run-randomized iteration order.)
+	salt := s.rng.Uint64()
+	victim, best, found := int64(0), uint64(0), false
 	for a := range nd.lines {
-		if s.rng.IntN(i+1) == 0 {
-			victim = a
+		h := mix64(uint64(a) ^ salt)
+		if !found || h < best || (h == best && a < victim) {
+			victim, best, found = a, h, true
 		}
-		i++
 	}
 	return victim, nd.lines[victim] == Modified
 }
 
-// retryCompletions re-attempts fills blocked on injection capacity.
+// mix64 is the splitmix64 finalizer, used as the victim-selection hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// retryCompletions re-attempts fills blocked on injection capacity, in
+// address order: when capacity admits only some of them, every run with
+// the same seed must finish the same ones first.
 func (s *System) retryCompletions(r int) {
 	nd := s.nodes[r]
-	for _, ms := range nd.mshrs {
+	addrs := s.scrAddrs[:0]
+	for a, ms := range nd.mshrs {
 		if ms.completed {
-			s.tryFinish(r, ms)
+			addrs = append(addrs, a)
 		}
 	}
+	slices.Sort(addrs)
+	for _, a := range addrs {
+		s.tryFinish(r, nd.mshrs[a])
+	}
+	s.scrAddrs = addrs[:0]
 }
 
 // ---- forward handling (consuming injects responses) ----
@@ -535,20 +564,24 @@ func (s *System) processRequest(r int, m Msg, dl *dirLine) bool {
 			dl.state, dl.owner = Modified, c
 			dl.busy, dl.gotUnblock = true, false
 		case Shared:
-			invs := 0
+			// Collect and sort the sharers: sending the invalidations in
+			// map order would vary the injection order between runs.
+			sharers := s.scrSharers[:0]
 			for sh := range dl.sharers {
 				if sh != c {
-					invs++
+					sharers = append(sharers, sh)
 				}
 			}
+			slices.Sort(sharers)
+			invs := len(sharers)
 			if !s.canSend(r, ClassResp, 1) || !s.canSend(r, ClassFwd, invs) {
+				s.scrSharers = sharers[:0]
 				return false
 			}
-			for sh := range dl.sharers {
-				if sh != c {
-					s.send(r, sh, Msg{Type: Inv, Addr: m.Addr, Requester: c})
-				}
+			for _, sh := range sharers {
+				s.send(r, sh, Msg{Type: Inv, Addr: m.Addr, Requester: c})
 			}
+			s.scrSharers = sharers[:0]
 			s.send(r, c, Msg{Type: Data, Addr: m.Addr, Requester: c, Acks: invs, Excl: true})
 			dl.sharers = make(map[int]bool)
 			dl.state, dl.owner = Modified, c

@@ -52,37 +52,55 @@ func disc(sc Scale, seed uint64) ([]Table, error) {
 		Title:   "Low-load latency and saturation on irregular-by-design topologies",
 		Columns: []string{"topology", "scheme", "low-load latency", "saturation throughput"},
 	}
-	for _, c := range cases {
-		for _, s := range []sim.Scheme{sim.SchemeEscapeVC, sim.SchemeDRAIN} {
+	// One job per (topology case, scheme, trial); each job builds its own
+	// topology instance from the trial-keyed RNG, so jobs stay independent.
+	schemes := []sim.Scheme{sim.SchemeEscapeVC, sim.SchemeDRAIN}
+	type discCell struct{ lat, sat float64 }
+	perScheme := trials
+	perCase := len(schemes) * perScheme
+	cells := make([]discCell, len(cases)*perCase)
+	err := ForEachConfig(len(cells), func(i int) error {
+		trial := i % perScheme
+		si := i / perScheme % len(schemes)
+		ci := i / perCase
+		g, err := cases[ci].make(trial)
+		if err != nil {
+			return err
+		}
+		run := func(rate float64) (sim.SyntheticResult, error) {
+			// BuildOn with a non-mesh graph: the escape-vc scheme
+			// falls back to up*/down* escape routing automatically.
+			r, err := sim.BuildOn(g, nil, sim.Params{
+				Scheme: schemes[si],
+				Epoch:  4096,
+				Seed:   seed + uint64(trial),
+			})
+			if err != nil {
+				return sim.SyntheticResult{}, err
+			}
+			return r.RunSynthetic(traffic.UniformRandom{N: g.N()}, rate, warm, meas)
+		}
+		low, err := run(0.02)
+		if err != nil {
+			return err
+		}
+		high, err := run(0.45)
+		if err != nil {
+			return err
+		}
+		cells[i] = discCell{lat: low.AvgLatency, sat: high.Accepted}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cases {
+		for si, s := range schemes {
 			var lat, sat float64
 			for trial := 0; trial < trials; trial++ {
-				g, err := c.make(trial)
-				if err != nil {
-					return nil, err
-				}
-				run := func(rate float64) (sim.SyntheticResult, error) {
-					// BuildOn with a non-mesh graph: the escape-vc scheme
-					// falls back to up*/down* escape routing automatically.
-					r, err := sim.BuildOn(g, nil, sim.Params{
-						Scheme: s,
-						Epoch:  4096,
-						Seed:   seed + uint64(trial),
-					})
-					if err != nil {
-						return sim.SyntheticResult{}, err
-					}
-					return r.RunSynthetic(traffic.UniformRandom{N: g.N()}, rate, warm, meas)
-				}
-				low, err := run(0.02)
-				if err != nil {
-					return nil, err
-				}
-				high, err := run(0.45)
-				if err != nil {
-					return nil, err
-				}
-				lat += low.AvgLatency
-				sat += high.Accepted
+				cell := cells[ci*perCase+si*perScheme+trial]
+				lat += cell.lat
+				sat += cell.sat
 			}
 			t.Rows = append(t.Rows, []string{
 				c.name, s.String(),

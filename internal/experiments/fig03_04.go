@@ -40,8 +40,48 @@ func fig3(sc Scale, seed uint64) ([]Table, error) {
 		maxCycles = 200_000
 		mshrs = 8
 	}
+	// One job per (VC count, workload, fault count, run): every cell-run
+	// is an independent simulation, so the whole figure fans out at once.
+	vcsList := []int{1, 4}
+	profs := workload.Parsec5()
+	perCell := runs
+	perLR := len(linksRemoved) * perCell
+	perProf := len(profs) * perLR
+	deadlocked := make([]bool, len(vcsList)*perProf)
+	err := ForEachConfig(len(deadlocked), func(i int) error {
+		run := i % perCell
+		li := i / perCell % len(linksRemoved)
+		wi := i / perLR % len(profs)
+		vi := i / perProf
+		r, err := sim.Build(sim.Params{
+			Width: w, Height: h,
+			Faults: linksRemoved[li], FaultSeed: seed + uint64(run)*7919,
+			Scheme:    sim.SchemeNone,
+			Classes:   3,
+			VNets:     3,
+			VCsPerVN:  vcsList[vi],
+			InjectCap: 16,
+			MSHRs:     mshrs,
+			// Strictly minimal adaptive: the deadlock-prone
+			// substrate whose failures this figure measures.
+			DerouteAfter: -1,
+			Seed:         seed + uint64(run)*104729,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := r.RunApp(profs[wi], 0, maxCycles)
+		if err != nil {
+			return err
+		}
+		deadlocked[i] = res.Deadlocked
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var tables []Table
-	for _, vcs := range []int{1, 4} {
+	for vi, vcs := range vcsList {
 		t := Table{
 			ID:      "fig3",
 			Title:   fmt.Sprintf("%% of runs deadlocked, %d VC/VNet, %dx%d mesh, unprotected adaptive routing", vcs, w, h),
@@ -50,37 +90,16 @@ func fig3(sc Scale, seed uint64) ([]Table, error) {
 		for _, lr := range linksRemoved {
 			t.Columns = append(t.Columns, fmt.Sprintf("%d links", lr))
 		}
-		for _, prof := range workload.Parsec5() {
+		for wi, prof := range profs {
 			row := []string{prof.Name}
-			for _, lr := range linksRemoved {
-				deadlocked := 0
+			for li := range linksRemoved {
+				count := 0
 				for run := 0; run < runs; run++ {
-					r, err := sim.Build(sim.Params{
-						Width: w, Height: h,
-						Faults: lr, FaultSeed: seed + uint64(run)*7919,
-						Scheme:    sim.SchemeNone,
-						Classes:   3,
-						VNets:     3,
-						VCsPerVN:  vcs,
-						InjectCap: 16,
-						MSHRs:     mshrs,
-						// Strictly minimal adaptive: the deadlock-prone
-						// substrate whose failures this figure measures.
-						DerouteAfter: -1,
-						Seed:         seed + uint64(run)*104729,
-					})
-					if err != nil {
-						return nil, err
-					}
-					res, err := r.RunApp(prof, 0, maxCycles)
-					if err != nil {
-						return nil, err
-					}
-					if res.Deadlocked {
-						deadlocked++
+					if deadlocked[vi*perProf+wi*perLR+li*perCell+run] {
+						count++
 					}
 				}
-				row = append(row, pct(float64(deadlocked)/float64(runs)))
+				row = append(row, pct(float64(count)/float64(runs)))
 			}
 			t.Rows = append(t.Rows, row)
 		}

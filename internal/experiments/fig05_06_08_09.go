@@ -59,35 +59,50 @@ func fig5(sc Scale, seed uint64) ([]Table, error) {
 		Title:   "8x8 mesh, uniform random: up*/down* vs ideal",
 		Columns: []string{"faults", "up*/down* low-load lat", "ideal low-load lat", "lat gap", "up*/down* saturation", "ideal saturation"},
 	}
-	for _, f := range faults {
+	// One job per (fault count, pattern, scheme, load point): each is an
+	// independent (build, run, measure) triple. Aggregation below stays
+	// serial and index-ordered so the float sums — and thus the rendered
+	// table — are identical for every worker count.
+	schemes := []sim.Scheme{sim.SchemeUpDown, sim.SchemeIdeal}
+	loads := []struct {
+		rate   float64
+		metric func(sim.SyntheticResult) float64
+	}{
+		{0.02, func(r sim.SyntheticResult) float64 { return r.AvgLatency }},
+		{0.45, func(r sim.SyntheticResult) float64 { return r.Accepted }},
+	}
+	perScheme := len(loads)
+	perPattern := len(schemes) * perScheme
+	perFault := patterns * perPattern
+	metrics := make([]float64, len(faults)*perFault)
+	err := ForEachConfig(len(metrics), func(i int) error {
+		li := i % perScheme
+		si := i / perScheme % len(schemes)
+		pi := i / perPattern % patterns
+		fi := i / perFault
+		fs := seed + uint64(pi)*6151
+		r, err := sim.Build(sim.Params{Width: 8, Height: 8, Faults: faults[fi], FaultSeed: fs, Scheme: schemes[si], Seed: seed})
+		if err != nil {
+			return err
+		}
+		res, err := r.RunSynthetic(traffic.UniformRandom{N: 64}, loads[li].rate, warm, meas)
+		if err != nil {
+			return err
+		}
+		metrics[i] = loads[li].metric(res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, f := range faults {
 		var udLat, idLat, udSat, idSat float64
 		for pi := 0; pi < patterns; pi++ {
-			fs := seed + uint64(pi)*6151
-			for _, s := range []sim.Scheme{sim.SchemeUpDown, sim.SchemeIdeal} {
-				low, err := sim.Build(sim.Params{Width: 8, Height: 8, Faults: f, FaultSeed: fs, Scheme: s, Seed: seed})
-				if err != nil {
-					return nil, err
-				}
-				rl, err := low.RunSynthetic(traffic.UniformRandom{N: 64}, 0.02, warm, meas)
-				if err != nil {
-					return nil, err
-				}
-				sat, err := sim.Build(sim.Params{Width: 8, Height: 8, Faults: f, FaultSeed: fs, Scheme: s, Seed: seed})
-				if err != nil {
-					return nil, err
-				}
-				rs, err := sat.RunSynthetic(traffic.UniformRandom{N: 64}, 0.45, warm, meas)
-				if err != nil {
-					return nil, err
-				}
-				if s == sim.SchemeUpDown {
-					udLat += rl.AvgLatency
-					udSat += rs.Accepted
-				} else {
-					idLat += rl.AvgLatency
-					idSat += rs.Accepted
-				}
-			}
+			base := fi*perFault + pi*perPattern
+			udLat += metrics[base]
+			udSat += metrics[base+1]
+			idLat += metrics[base+perScheme]
+			idSat += metrics[base+perScheme+1]
 		}
 		n := float64(patterns)
 		udLat, idLat, udSat, idSat = udLat/n, idLat/n, udSat/n, idSat/n

@@ -45,27 +45,42 @@ func synthMatrix(sc Scale, seed uint64, patName string, rate float64, metric fun
 	}
 	schemes := []sim.Scheme{sim.SchemeEscapeVC, sim.SchemeSPIN, sim.SchemeDRAIN}
 	t := Table{Columns: []string{"faults", "escape-vc", "spin", "drain"}}
-	for _, f := range faults {
+	// One job per (fault count, scheme, fault pattern); averaging happens
+	// serially afterwards in fixed index order.
+	perScheme := patterns
+	perFault := len(schemes) * perScheme
+	metrics := make([]float64, len(faults)*perFault)
+	err := ForEachConfig(len(metrics), func(i int) error {
+		pi := i % perScheme
+		si := i / perScheme % len(schemes)
+		fi := i / perFault
+		r, err := sim.Build(sim.Params{
+			Width: 8, Height: 8, Faults: faults[fi], FaultSeed: seed + uint64(pi)*6151,
+			Scheme: schemes[si], Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		pat, err := traffic.ByName(patName, 64, 8)
+		if err != nil {
+			return err
+		}
+		res, err := r.RunSynthetic(pat, rate, warm, meas)
+		if err != nil {
+			return err
+		}
+		metrics[i] = metric(res)
+		return nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for fi, f := range faults {
 		row := []string{fmt.Sprintf("%d", f)}
-		for _, s := range schemes {
+		for si := range schemes {
 			sum := 0.0
 			for pi := 0; pi < patterns; pi++ {
-				r, err := sim.Build(sim.Params{
-					Width: 8, Height: 8, Faults: f, FaultSeed: seed + uint64(pi)*6151,
-					Scheme: s, Seed: seed,
-				})
-				if err != nil {
-					return t, err
-				}
-				pat, err := traffic.ByName(patName, 64, 8)
-				if err != nil {
-					return t, err
-				}
-				res, err := r.RunSynthetic(pat, rate, warm, meas)
-				if err != nil {
-					return t, err
-				}
-				sum += metric(res)
+				sum += metrics[fi*perFault+si*perScheme+pi]
 			}
 			row = append(row, f3(sum/float64(patterns)))
 		}
@@ -116,25 +131,33 @@ func fig14(sc Scale, seed uint64) ([]Table, error) {
 		Title:   "DRAIN epoch sweep, uniform random, 8x8",
 		Columns: []string{"epoch (cycles)", "low-load latency", "saturation throughput"},
 	}
-	for _, e := range epochs {
-		low, err := sim.Build(sim.Params{Width: 8, Height: 8, Scheme: sim.SchemeDRAIN, Epoch: e, Seed: seed})
+	// One job per (epoch, load point).
+	rates := []float64{0.02, 0.45}
+	metrics := make([]float64, len(epochs)*len(rates))
+	err := ForEachConfig(len(metrics), func(i int) error {
+		ri := i % len(rates)
+		ei := i / len(rates)
+		r, err := sim.Build(sim.Params{Width: 8, Height: 8, Scheme: sim.SchemeDRAIN, Epoch: epochs[ei], Seed: seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rl, err := low.RunSynthetic(traffic.UniformRandom{N: 64}, 0.02, warm, meas)
+		res, err := r.RunSynthetic(traffic.UniformRandom{N: 64}, rates[ri], warm, meas)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sat, err := sim.Build(sim.Params{Width: 8, Height: 8, Scheme: sim.SchemeDRAIN, Epoch: e, Seed: seed})
-		if err != nil {
-			return nil, err
+		if ri == 0 {
+			metrics[i] = res.AvgLatency
+		} else {
+			metrics[i] = res.Accepted
 		}
-		rs, err := sat.RunSynthetic(traffic.UniformRandom{N: 64}, 0.45, warm, meas)
-		if err != nil {
-			return nil, err
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ei, e := range epochs {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", e), f1(rl.AvgLatency), f3(rs.Accepted),
+			fmt.Sprintf("%d", e), f1(metrics[ei*len(rates)]), f3(metrics[ei*len(rates)+1]),
 		})
 	}
 	t.Notes = append(t.Notes, "Paper Fig. 14: latency falls and throughput rises monotonically with epoch.")

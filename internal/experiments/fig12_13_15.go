@@ -68,8 +68,51 @@ func appMatrix(sc Scale, seed uint64, suite string, w, h int) ([]Table, error) {
 	} else {
 		ops, maxCycles, epoch = 1000, 5_000_000, 65_536
 	}
+	// One job per (fault count, workload, config). The normalization to the
+	// escape-vc baseline (config 0) is a serial pass over the collected
+	// results, so it is independent of worker count. The "did not complete"
+	// check stays inside the job: ForEachConfig returns the lowest-index
+	// error, which matches the error the serial loop would have hit first.
+	cfgs := appConfigs()
+	type appCell struct {
+		lat     float64
+		runtime float64
+	}
+	perProf := len(cfgs)
+	perFault := len(profiles) * perProf
+	cells := make([]appCell, len(faultsList)*perFault)
+	err := ForEachConfig(len(cells), func(i int) error {
+		ci := i % perProf
+		wi := i / perProf % len(profiles)
+		fi := i / perFault
+		c, prof, faults := cfgs[ci], profiles[wi], faultsList[fi]
+		r, err := sim.Build(sim.Params{
+			Width: w, Height: h,
+			Faults: faults, FaultSeed: seed + 31,
+			Scheme: c.scheme, Classes: 3,
+			VNets: c.vnets, VCsPerVN: c.vcs,
+			Epoch: epoch, InjectCap: 16,
+			Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := r.RunApp(prof, ops, maxCycles)
+		if err != nil {
+			return err
+		}
+		if !res.Completed {
+			return fmt.Errorf("%s/%s with %d faults did not complete in %d cycles",
+				c.name, prof.Name, faults, maxCycles)
+		}
+		cells[i] = appCell{lat: res.AvgLatency, runtime: float64(res.Runtime)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var tables []Table
-	for _, faults := range faultsList {
+	for fi, faults := range faultsList {
 		lat := Table{
 			ID:      tableIDForSuite(suite),
 			Title:   fmt.Sprintf("%s avg packet latency (normalized to escape-vc), %dx%d, %d faults", suite, w, h, faults),
@@ -80,39 +123,18 @@ func appMatrix(sc Scale, seed uint64, suite string, w, h int) ([]Table, error) {
 			Title:   fmt.Sprintf("%s runtime (normalized to escape-vc), %dx%d, %d faults", suite, w, h, faults),
 			Columns: []string{"workload"},
 		}
-		for _, c := range appConfigs() {
+		for _, c := range cfgs {
 			lat.Columns = append(lat.Columns, c.name)
 			run.Columns = append(run.Columns, c.name)
 		}
-		for _, prof := range profiles {
+		for wi, prof := range profiles {
 			latRow := []string{prof.Name}
 			runRow := []string{prof.Name}
-			var baseLat, baseRun float64
-			for i, c := range appConfigs() {
-				r, err := sim.Build(sim.Params{
-					Width: w, Height: h,
-					Faults: faults, FaultSeed: seed + 31,
-					Scheme: c.scheme, Classes: 3,
-					VNets: c.vnets, VCsPerVN: c.vcs,
-					Epoch: epoch, InjectCap: 16,
-					Seed: seed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				res, err := r.RunApp(prof, ops, maxCycles)
-				if err != nil {
-					return nil, err
-				}
-				if !res.Completed {
-					return nil, fmt.Errorf("%s/%s with %d faults did not complete in %d cycles",
-						c.name, prof.Name, faults, maxCycles)
-				}
-				if i == 0 {
-					baseLat, baseRun = res.AvgLatency, float64(res.Runtime)
-				}
-				latRow = append(latRow, f2(res.AvgLatency/baseLat))
-				runRow = append(runRow, f2(float64(res.Runtime)/baseRun))
+			base := cells[fi*perFault+wi*perProf] // escape-vc baseline
+			for ci := range cfgs {
+				cell := cells[fi*perFault+wi*perProf+ci]
+				latRow = append(latRow, f2(cell.lat/base.lat))
+				runRow = append(runRow, f2(cell.runtime/base.runtime))
 			}
 			lat.Rows = append(lat.Rows, latRow)
 			run.Rows = append(run.Rows, runRow)
@@ -166,26 +188,38 @@ func fig15(sc Scale, seed uint64) ([]Table, error) {
 		Title:   "p99 packet latency (cycles), 0 faults",
 		Columns: []string{"workload"},
 	}
-	for _, c := range appConfigs() {
+	cfgs := appConfigs()
+	for _, c := range cfgs {
 		t.Columns = append(t.Columns, c.name)
 	}
-	for _, name := range profiles {
-		prof := workload.MustGet(name)
+	// One job per (workload, config).
+	p99 := make([]int64, len(profiles)*len(cfgs))
+	err := ForEachConfig(len(p99), func(i int) error {
+		ci := i % len(cfgs)
+		wi := i / len(cfgs)
+		c := cfgs[ci]
+		r, err := sim.Build(sim.Params{
+			Width: w, Height: h, Scheme: c.scheme, Classes: 3,
+			VNets: c.vnets, VCsPerVN: c.vcs,
+			Epoch: epoch, InjectCap: 16, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := r.RunApp(workload.MustGet(profiles[wi]), ops, maxCycles)
+		if err != nil {
+			return err
+		}
+		p99[i] = res.P99Latency
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, name := range profiles {
 		row := []string{name}
-		for _, c := range appConfigs() {
-			r, err := sim.Build(sim.Params{
-				Width: w, Height: h, Scheme: c.scheme, Classes: 3,
-				VNets: c.vnets, VCsPerVN: c.vcs,
-				Epoch: epoch, InjectCap: 16, Seed: seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := r.RunApp(prof, ops, maxCycles)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%d", res.P99Latency))
+		for ci := range cfgs {
+			row = append(row, fmt.Sprintf("%d", p99[wi*len(cfgs)+ci]))
 		}
 		t.Rows = append(t.Rows, row)
 	}

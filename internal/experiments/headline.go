@@ -28,28 +28,40 @@ func headline(sc Scale, seed uint64) ([]Table, error) {
 		patterns = 10
 		warm, meas = 10_000, 50_000
 	}
+	// One job per (fault count, pattern, scheme); the averages are summed
+	// serially afterwards in fixed index order so the result is identical
+	// for every worker count.
+	schemes := []sim.Scheme{sim.SchemeEscapeVC, sim.SchemeDRAIN}
+	perPattern := len(schemes)
+	perFault := patterns * perPattern
+	lats := make([]float64, len(faults)*perFault)
+	err := ForEachConfig(len(lats), func(i int) error {
+		si := i % perPattern
+		pi := i / perPattern % patterns
+		fi := i / perFault
+		fs := seed + uint64(pi)*6151
+		r, err := sim.Build(sim.Params{Width: 8, Height: 8, Faults: faults[fi], FaultSeed: fs, Scheme: schemes[si], Seed: seed})
+		if err != nil {
+			return err
+		}
+		// Moderate load: restrictions hurt most when the network
+		// is loaded but escape VCs are not yet saturated.
+		res, err := r.RunSynthetic(traffic.UniformRandom{N: 64}, 0.10, warm, meas)
+		if err != nil {
+			return err
+		}
+		lats[i] = res.AvgLatency
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var escLat, drainLat float64
 	n := 0
-	for _, f := range faults {
+	for fi := range faults {
 		for pi := 0; pi < patterns; pi++ {
-			fs := seed + uint64(pi)*6151
-			for _, s := range []sim.Scheme{sim.SchemeEscapeVC, sim.SchemeDRAIN} {
-				r, err := sim.Build(sim.Params{Width: 8, Height: 8, Faults: f, FaultSeed: fs, Scheme: s, Seed: seed})
-				if err != nil {
-					return nil, err
-				}
-				// Moderate load: restrictions hurt most when the network
-				// is loaded but escape VCs are not yet saturated.
-				res, err := r.RunSynthetic(traffic.UniformRandom{N: 64}, 0.10, warm, meas)
-				if err != nil {
-					return nil, err
-				}
-				if s == sim.SchemeEscapeVC {
-					escLat += res.AvgLatency
-				} else {
-					drainLat += res.AvgLatency
-				}
-			}
+			escLat += lats[fi*perFault+pi*perPattern]
+			drainLat += lats[fi*perFault+pi*perPattern+1]
 			n++
 		}
 	}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment harness parallelizes at the granularity of independent
+// simulation runs: every (topology, fault pattern, scheme, seed) cell of
+// a figure is a pure function of its own parameters — each run builds its
+// own Network with its own RNG — so the only coordination needed is
+// collecting results by index. All aggregation (averaging, normalizing,
+// rendering) stays serial and ordered, which makes the output byte-
+// identical for every worker count.
+
+// parallelism is the worker count ForEachConfig fans runs across.
+// Access through SetParallelism/Parallelism; the default 1 keeps the
+// harness strictly serial (tests and library users opt in explicitly,
+// cmd/experiments sets it from -parallel).
+var parallelism atomic.Int32
+
+func init() { parallelism.Store(1) }
+
+// SetParallelism sets the number of worker goroutines ForEachConfig uses.
+// Values below 1 are treated as 1. Safe to call between figure runs; the
+// result tables do not depend on the value.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the current worker count.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// ForEachConfig runs fn(i) for every i in [0, n) across the configured
+// number of workers. fn must be independent across indices (each call
+// builds its own simulation state) and should write its result into an
+// index-addressed slot; ForEachConfig provides no other result channel.
+//
+// Error semantics are deterministic: the error with the lowest index is
+// returned regardless of worker count or completion order. With
+// parallelism 1 the calls run strictly serially, in order, stopping at
+// the first error — exactly the seed implementation's loop shape.
+func ForEachConfig(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

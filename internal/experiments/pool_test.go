@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// withParallelism runs fn with the given worker count and restores the
+// previous setting afterwards (the package-level value is shared).
+func withParallelism(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := Parallelism()
+	SetParallelism(n)
+	defer SetParallelism(prev)
+	fn()
+}
+
+func TestForEachConfigCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 37
+		hits := make([]atomic.Int32, n)
+		withParallelism(t, workers, func() {
+			if err := ForEachConfig(n, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Errorf("workers=%d: index %d called %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachConfigZeroAndNegative(t *testing.T) {
+	called := false
+	for _, n := range []int{0, -3} {
+		if err := ForEachConfig(n, func(int) error { called = true; return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if called {
+		t.Error("fn called for n <= 0")
+	}
+}
+
+// TestForEachConfigLowestError verifies the deterministic error contract:
+// whichever worker count runs the jobs, the returned error is the one
+// with the lowest index — the same error the serial loop stops at.
+func TestForEachConfigLowestError(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		withParallelism(t, workers, func() {
+			err := ForEachConfig(50, func(i int) error {
+				if i == 13 || i == 31 {
+					return fmt.Errorf("job %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "job 13 failed" {
+				t.Errorf("workers=%d: got %v, want lowest-index error from job 13", workers, err)
+			}
+		})
+	}
+}
+
+func TestSetParallelismClamps(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	SetParallelism(0)
+	if got := Parallelism(); got != 1 {
+		t.Errorf("Parallelism() = %d after SetParallelism(0), want 1", got)
+	}
+	SetParallelism(-5)
+	if got := Parallelism(); got != 1 {
+		t.Errorf("Parallelism() = %d after SetParallelism(-5), want 1", got)
+	}
+}
+
+// TestForEachConfigSerialStopsEarly checks the parallelism-1 fast path
+// keeps the seed loop shape: later jobs never run once one fails.
+func TestForEachConfigSerialStopsEarly(t *testing.T) {
+	var calls int
+	boom := errors.New("boom")
+	withParallelism(t, 1, func() {
+		err := ForEachConfig(10, func(i int) error {
+			calls++
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	if calls != 4 {
+		t.Errorf("serial run made %d calls after failure at index 3, want 4", calls)
+	}
+}
+
+// renderTables renders an experiment's tables the way cmd/experiments
+// writes them, minus the timing line.
+func renderTables(tables []Table) string {
+	var b strings.Builder
+	for i := range tables {
+		b.WriteString(tables[i].Markdown())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestParallelDeterminism runs a real figure with 1 worker and with 8
+// and requires byte-identical rendered markdown: every simulation owns
+// its RNG, results land in index-addressed slots, and aggregation is a
+// serial ordered pass, so worker count must be invisible in the output.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig14 twice")
+	}
+	e, ok := ByID("fig14")
+	if !ok {
+		t.Fatal("fig14 not registered")
+	}
+	var serial, fanned string
+	withParallelism(t, 1, func() {
+		tables, err := e.Run(Quick, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = renderTables(tables)
+	})
+	withParallelism(t, 8, func() {
+		tables, err := e.Run(Quick, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fanned = renderTables(tables)
+	})
+	if serial != fanned {
+		t.Errorf("fig14 output differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, fanned)
+	}
+}

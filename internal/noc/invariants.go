@@ -57,5 +57,25 @@ func (n *Network) CheckInvariants() error {
 			return fmt.Errorf("noc: in-flight packet %d target slot not reserved", f.pkt.ID)
 		}
 	}
+	// The incremental active-router occupancy counts must agree with a
+	// full recount (allocate() relies on them to skip idle routers).
+	for r := 0; r < n.g.N(); r++ {
+		count := int32(0)
+		for _, l := range n.inLinks[r] {
+			for s := range n.linkVC[l] {
+				if n.linkVC[l][s].pkt != nil {
+					count++
+				}
+			}
+		}
+		for s := range n.localVC[r] {
+			if n.localVC[r][s].pkt != nil {
+				count++
+			}
+		}
+		if n.occIn[r] != count {
+			return fmt.Errorf("noc: router %d occupancy count %d, recount %d", r, n.occIn[r], count)
+		}
+	}
 	return nil
 }

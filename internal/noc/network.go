@@ -48,11 +48,19 @@ type Network struct {
 	ejectBusy []int64    // per router
 	inflights []flight
 
-	injQ [][][]*Packet // [router][class]
-	ejQ  [][][]*Packet
+	injQ [][]pktQueue // [router][class]
+	ejQ  [][]pktQueue
 
 	inLinks  [][]int // link IDs ending at each router
 	outLinks [][]int // link IDs starting at each router
+
+	// occIn[r] counts occupied input VC buffers (link + local) at router
+	// r. allocate() skips routers with zero occupancy — the "active
+	// router" set — which is both a fast path for lightly loaded networks
+	// and behavior-preserving: a router with no occupied input VC can
+	// never produce a request, so no arbitration (and no RNG draw)
+	// happens there either way.
+	occIn []int32
 
 	nextID int64
 
@@ -63,10 +71,11 @@ type Network struct {
 
 	Counters Counters
 
-	// scratch buffers reused across cycles
-	scrReqs  []request
-	scrCands []routing.Candidate
-	scrWin   []int
+	// scratch buffers reused across cycles (steady-state Step performs
+	// no heap allocation; see BenchmarkStepAllocs)
+	scrReqs []request
+	scrOpts []grant
+	scrWin  []int
 }
 
 // New builds a network from cfg (cfg is validated and defaulted).
@@ -95,12 +104,19 @@ func New(cfg Config) (*Network, error) {
 		n.linkVC[i] = make([]vcSlot, n.vcPerPort)
 	}
 	n.localVC = make([][]vcSlot, g.N())
-	n.injQ = make([][][]*Packet, g.N())
-	n.ejQ = make([][][]*Packet, g.N())
+	n.injQ = make([][]pktQueue, g.N())
+	n.ejQ = make([][]pktQueue, g.N())
+	n.occIn = make([]int32, g.N())
 	for r := 0; r < g.N(); r++ {
 		n.localVC[r] = make([]vcSlot, n.vcPerPort)
-		n.injQ[r] = make([][]*Packet, cfg.Classes)
-		n.ejQ[r] = make([][]*Packet, cfg.Classes)
+		n.injQ[r] = make([]pktQueue, cfg.Classes)
+		n.ejQ[r] = make([]pktQueue, cfg.Classes)
+		for c := 0; c < cfg.Classes; c++ {
+			// Pre-size the rings to their caps so bounded queues never
+			// grow (and so Push never allocates) in steady state.
+			n.injQ[r][c] = newPktQueue(cfg.InjectCap)
+			n.ejQ[r][c] = newPktQueue(cfg.EjectCap)
+		}
 	}
 	for _, l := range g.Links() {
 		n.inLinks[l.To] = append(n.inLinks[l.To], l.ID)
@@ -162,7 +178,7 @@ func (n *Network) NewPacket(src, dst, class, flits int) *Packet {
 
 // CanInject reports whether router r's injection queue for class has room.
 func (n *Network) CanInject(r, class int) bool {
-	return n.cfg.InjectCap == 0 || len(n.injQ[r][class]) < n.cfg.InjectCap
+	return n.cfg.InjectCap == 0 || n.injQ[r][class].Len() < n.cfg.InjectCap
 }
 
 // Inject queues p at its source router. It returns false (dropping
@@ -175,21 +191,21 @@ func (n *Network) Inject(p *Packet) bool {
 	if p.Flits > n.cfg.MaxFlits {
 		panic(fmt.Sprintf("noc: packet of %d flits exceeds MaxFlits %d", p.Flits, n.cfg.MaxFlits))
 	}
-	n.injQ[p.Src][p.Class] = append(n.injQ[p.Src][p.Class], p)
+	n.injQ[p.Src][p.Class].Push(p)
 	n.Counters.Created++
 	return true
 }
 
 // InjQueueLen returns the length of router r's class injection queue.
-func (n *Network) InjQueueLen(r, class int) int { return len(n.injQ[r][class]) }
+func (n *Network) InjQueueLen(r, class int) int { return n.injQ[r][class].Len() }
 
 // EjectedLen returns the number of packets waiting in router r's class
 // ejection queue.
-func (n *Network) EjectedLen(r, class int) int { return len(n.ejQ[r][class]) }
+func (n *Network) EjectedLen(r, class int) int { return n.ejQ[r][class].Len() }
 
 // ejectSpace reports whether the class queue at r can accept one more.
 func (n *Network) ejectSpace(r, class int) bool {
-	return len(n.ejQ[r][class]) < n.cfg.EjectCap
+	return n.ejQ[r][class].Len() < n.cfg.EjectCap
 }
 
 // PopEjected removes and returns the oldest ejected packet of the class
@@ -197,23 +213,12 @@ func (n *Network) ejectSpace(r, class int) bool {
 // or coherence controller) calls this; separate per-class consumption is
 // what makes the paper's protocol-deadlock assumptions hold.
 func (n *Network) PopEjected(r, class int) *Packet {
-	q := n.ejQ[r][class]
-	if len(q) == 0 {
-		return nil
-	}
-	p := q[0]
-	copy(q, q[1:])
-	n.ejQ[r][class] = q[:len(q)-1]
-	return p
+	return n.ejQ[r][class].Pop()
 }
 
 // PeekEjected returns the oldest ejected packet without removing it.
 func (n *Network) PeekEjected(r, class int) *Packet {
-	q := n.ejQ[r][class]
-	if len(q) == 0 {
-		return nil
-	}
-	return q[0]
+	return n.ejQ[r][class].Peek()
 }
 
 // OccupiedVCs returns the number of link VC buffers currently holding
@@ -236,7 +241,7 @@ func (n *Network) InFlightPackets() int {
 	total := len(n.inflights)
 	for r := 0; r < n.g.N(); r++ {
 		for c := 0; c < n.cfg.Classes; c++ {
-			total += len(n.injQ[r][c]) + len(n.ejQ[r][c])
+			total += n.injQ[r][c].Len() + n.ejQ[r][c].Len()
 		}
 		for i := range n.localVC[r] {
 			if n.localVC[r][i].pkt != nil {

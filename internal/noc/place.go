@@ -26,5 +26,6 @@ func (n *Network) PlacePacket(from, to, dst, slot int) (*Packet, error) {
 		p.InEscape = true
 	}
 	s.pkt = p
+	n.occIn[to]++
 	return p, nil
 }

@@ -50,6 +50,7 @@ func (n *Network) DrainRotate(next []int) (DrainReport, error) {
 			d := next[l]
 			target := n.g.Link(d)
 			oldRouter := p.atRouter
+			n.occIn[oldRouter]--
 			p.Hops++
 			p.DrainHops++
 			n.Counters.Hops++
@@ -62,7 +63,7 @@ func (n *Network) DrainRotate(next []int) (DrainReport, error) {
 			}
 			if p.Dst == target.To && n.ejectSpace(target.To, p.Class) {
 				p.EjectedAt = n.cycle
-				n.ejQ[target.To][p.Class] = append(n.ejQ[target.To][p.Class], p)
+				n.ejQ[target.To][p.Class].Push(p)
 				n.Counters.Ejected++
 				if n.OnEject != nil {
 					n.OnEject(p)
@@ -70,6 +71,7 @@ func (n *Network) DrainRotate(next []int) (DrainReport, error) {
 				rep.Ejected++
 				continue
 			}
+			n.occIn[target.To]++
 			p.atRouter = target.To
 			p.inLink = d
 			p.slot = slot
@@ -138,6 +140,8 @@ func (n *Network) RotateBlockedCycle(refs []VCRef) error {
 			p.Misroutes++
 			n.Counters.Misroutes++
 		}
+		n.occIn[p.atRouter]--
+		n.occIn[target.To]++
 		p.atRouter = target.To
 		p.inLink = nxt.Link
 		p.slot = nxt.Slot

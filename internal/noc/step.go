@@ -10,8 +10,20 @@ type request struct {
 	wantEj bool
 	// outputs the packet may take from a non-escape standpoint and from
 	// an escape standpoint, as candidate entries (LinkID + phase info).
+	// Both alias the routing table's shared read-only candidate sets and
+	// are never mutated or retained past the cycle.
 	mainOuts []routing.Candidate
 	escOuts  []routing.Candidate
+}
+
+// grant is one feasible (input VC → output slot) assignment during link
+// arbitration (scratch state).
+type grant struct {
+	reqIdx     int
+	toSlot     int
+	setEscape  bool
+	downPhase  bool
+	productive bool
 }
 
 // Step advances the network by one cycle: completes arrivals, performs
@@ -46,12 +58,13 @@ func (n *Network) land(f flight) {
 	p := f.pkt
 	// Free the upstream buffer.
 	n.slotOf(p.inLink, p.atRouter, p.slot).pkt = nil
+	n.occIn[p.atRouter]--
 	n.Counters.BufReads += int64(p.Flits)
 	p.sending = false
 
 	if f.eject {
 		p.EjectedAt = n.cycle
-		n.ejQ[f.toRouter][p.Class] = append(n.ejQ[f.toRouter][p.Class], p)
+		n.ejQ[f.toRouter][p.Class].Push(p)
 		n.Counters.Ejected++
 		if n.OnEject != nil {
 			n.OnEject(p)
@@ -61,6 +74,7 @@ func (n *Network) land(f flight) {
 	dst := &n.linkVC[f.toLink][f.toSlot]
 	dst.reserved = false
 	dst.pkt = p
+	n.occIn[f.toRouter]++
 	p.atRouter = f.toRouter
 	p.inLink = f.toLink
 	p.slot = f.toSlot
@@ -88,9 +102,14 @@ func (n *Network) slotOf(inLink, router, slot int) *vcSlot {
 	return &n.linkVC[inLink][slot]
 }
 
-// allocate performs one cycle of switch + VC allocation at every router.
+// allocate performs one cycle of switch + VC allocation at every active
+// router. Routers with no occupied input VCs cannot produce requests (and
+// would consume no randomness), so they are skipped outright.
 func (n *Network) allocate() {
 	for r := 0; r < n.g.N(); r++ {
+		if n.occIn[r] == 0 {
+			continue
+		}
 		n.allocateRouter(r)
 	}
 }
@@ -133,21 +152,16 @@ func (n *Network) gatherRequests(r int) []request {
 			// A long-stalled packet on an unrestricted (adaptive) routing
 			// function may deroute over any output, including U-turns.
 			stalled := n.cfg.DerouteAfter > 0 && n.cycle-p.readyAt >= int64(n.cfg.DerouteAfter)
-			cands := func(k routing.Kind, phase bool) []routing.Candidate {
-				if stalled && k == routing.AdaptiveMinimal {
-					return n.tab.AllOutputs(nil, r, p.Dst)
-				}
-				return n.tab.Candidates(nil, k, r, p.Dst, phase)
-			}
 			// Routing candidates. Escape discipline (paper §III-A):
 			// a packet in an escape VC may only continue on escape VCs
-			// under EscapeRouting; others may use either.
+			// under EscapeRouting; others may use either. The candidate
+			// slices are the routing table's shared read-only sets.
 			if n.cfg.PolicyEscape {
 				escapeReady := p.InEscape ||
 					n.cfg.EscapeAfter <= 0 ||
 					n.cycle-p.readyAt >= int64(n.cfg.EscapeAfter)
 				if !p.InEscape {
-					req.mainOuts = cands(n.cfg.Routing, p.DownPhase)
+					req.mainOuts = n.routeCands(n.cfg.Routing, r, p.Dst, p.DownPhase, stalled)
 				}
 				// Phase for escape routing: a packet entering the escape
 				// network starts its up*/down* walk fresh.
@@ -156,10 +170,10 @@ func (n *Network) gatherRequests(r int) []request {
 					escPhase = false
 				}
 				if escapeReady {
-					req.escOuts = cands(n.cfg.EscapeRouting, escPhase)
+					req.escOuts = n.routeCands(n.cfg.EscapeRouting, r, p.Dst, escPhase, stalled)
 				}
 			} else {
-				req.mainOuts = cands(n.cfg.Routing, p.DownPhase)
+				req.mainOuts = n.routeCands(n.cfg.Routing, r, p.Dst, p.DownPhase, stalled)
 			}
 			if len(req.mainOuts) > 0 || len(req.escOuts) > 0 {
 				reqs = append(reqs, req)
@@ -200,14 +214,7 @@ func (n *Network) arbitrateEject(r int, reqs []request) {
 
 // arbitrateLink grants output link `out` of router r to one input VC.
 func (n *Network) arbitrateLink(r, out int, reqs []request) {
-	type grant struct {
-		reqIdx     int
-		toSlot     int
-		setEscape  bool
-		downPhase  bool
-		productive bool
-	}
-	var options []grant
+	options := n.scrOpts[:0]
 	for i := range reqs {
 		req := &reqs[i]
 		p := req.pkt
@@ -266,19 +273,27 @@ func (n *Network) arbitrateLink(r, out int, reqs []request) {
 			}
 		}
 	}
+	n.scrOpts = options
 	if len(options) == 0 {
 		return
 	}
 	// Prefer productive grants: deroutes only win an output no minimal
-	// packet wants, keeping misrouting a last resort.
-	prod := options[:0:0]
+	// packet wants, keeping misrouting a last resort. The filter runs
+	// in place (relative order preserved) to stay allocation-free.
+	prodCount := 0
 	for _, o := range options {
 		if o.productive {
-			prod = append(prod, o)
+			prodCount++
 		}
 	}
-	if len(prod) > 0 {
-		options = prod
+	if prodCount > 0 && prodCount < len(options) {
+		kept := options[:0]
+		for _, o := range options {
+			if o.productive {
+				kept = append(kept, o)
+			}
+		}
+		options = kept
 	}
 	g := options[n.rng.IntN(len(options))]
 	req := &reqs[g.reqIdx]
@@ -301,6 +316,16 @@ func (n *Network) arbitrateLink(r, out int, reqs []request) {
 	n.Counters.SWAllocs++
 	n.Counters.VCAllocs++
 	n.Counters.XbarFlits += int64(p.Flits)
+}
+
+// routeCands returns the shared read-only candidate set for a packet at
+// router r heading to dst under algorithm k. A stalled packet on an
+// unrestricted adaptive function may deroute over any output.
+func (n *Network) routeCands(k routing.Kind, r, dst int, phase, stalled bool) []routing.Candidate {
+	if stalled && k == routing.AdaptiveMinimal {
+		return n.tab.AllOutputs(r, dst)
+	}
+	return n.tab.Candidates(k, r, dst, phase)
 }
 
 // findCand returns the candidate targeting link out, if present.
@@ -373,19 +398,19 @@ func (n *Network) freeDownstreamSlot(out, vn int, escape bool) (int, bool) {
 func (n *Network) injectFromQueues() {
 	for r := 0; r < n.g.N(); r++ {
 		for class := 0; class < n.cfg.Classes; class++ {
-			q := n.injQ[r][class]
-			if len(q) == 0 {
+			q := &n.injQ[r][class]
+			p := q.Peek()
+			if p == nil {
 				continue
 			}
-			p := q[0]
 			slot, escape, ok := n.freeLocalSlot(r, p.VNet)
 			if !ok {
 				continue
 			}
-			copy(q, q[1:])
-			n.injQ[r][class] = q[:len(q)-1]
+			q.Pop()
 			lv := &n.localVC[r][slot]
 			lv.pkt = p
+			n.occIn[r]++
 			p.atRouter = r
 			p.inLink = LocalPort
 			p.slot = slot

@@ -61,8 +61,8 @@ func TestConservativeInjectionHoldsBackLastVC(t *testing.T) {
 
 // fillEjectQueue stuffs router r's class queue to capacity.
 func fillEjectQueue(n *Network, r, class int) {
-	for len(n.ejQ[r][class]) < n.cfg.EjectCap {
-		n.ejQ[r][class] = append(n.ejQ[r][class], n.NewPacket(r, r, class, 1))
+	for n.ejQ[r][class].Len() < n.cfg.EjectCap {
+		n.ejQ[r][class].Push(n.NewPacket(r, r, class, 1))
 	}
 }
 
@@ -293,7 +293,7 @@ func TestDerouteEventuallyMisroutes(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < n.cfg.EjectCap; i++ {
-		n.ejQ[3][0] = append(n.ejQ[3][0], n.NewPacket(0, 3, 0, 1))
+		n.ejQ[3][0].Push(n.NewPacket(0, 3, 0, 1))
 	}
 	_ = parked
 	_ = parked2

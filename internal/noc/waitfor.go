@@ -143,24 +143,13 @@ func (n *Network) moveTargets(p *Packet, router int, buf []int) []int {
 	// Productive outputs are listed first: FindBlockedCycle follows the
 	// first blocked target, so extracted cycles track the packets'
 	// *desired* moves (as SPIN's probes do) and forced rotations make
-	// real forward progress.
+	// real forward progress. The returned sets are the routing table's
+	// shared read-only slices and are only iterated here.
 	cands := func(k routing.Kind, phase bool) []routing.Candidate {
 		if n.cfg.DerouteAfter > 0 && k == routing.AdaptiveMinimal {
-			all := n.tab.AllOutputs(nil, router, p.Dst)
-			ordered := make([]routing.Candidate, 0, len(all))
-			for _, c := range all {
-				if c.Productive {
-					ordered = append(ordered, c)
-				}
-			}
-			for _, c := range all {
-				if !c.Productive {
-					ordered = append(ordered, c)
-				}
-			}
-			return ordered
+			return n.tab.AllOutputsPreferProductive(router, p.Dst)
 		}
-		return n.tab.Candidates(nil, k, router, p.Dst, phase)
+		return n.tab.Candidates(k, router, p.Dst, phase)
 	}
 	if n.cfg.PolicyEscape {
 		if !p.InEscape {

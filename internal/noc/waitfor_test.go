@@ -50,6 +50,7 @@ func plantPacket(t *testing.T, n *Network, from, to, dst, slot int) *Packet {
 		p.InEscape = true
 	}
 	n.linkVC[l][slot].pkt = p
+	n.occIn[to]++
 	return p
 }
 
@@ -121,7 +122,7 @@ func TestEjectQueueFullLiveness(t *testing.T) {
 	// Packet at its destination with a full eject queue.
 	p := plantPacket(t, n, 0, 1, 1, 0)
 	for i := 0; i < n.cfg.EjectCap; i++ {
-		n.ejQ[1][0] = append(n.ejQ[1][0], n.NewPacket(0, 1, 0, 1))
+		n.ejQ[1][0].Push(n.NewPacket(0, 1, 0, 1))
 	}
 	// With ejection treated as a live sink, no deadlock.
 	if n.HasDeadlock(LivenessOpts{}) {

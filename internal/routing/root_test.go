@@ -80,7 +80,7 @@ func TestAllOutputsIncludesUTurnNeighbors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cands := tab.AllOutputs(nil, 1, 2)
+	cands := tab.AllOutputs(1, 2)
 	if len(cands) != 2 {
 		t.Fatalf("AllOutputs = %d candidates, want 2", len(cands))
 	}
@@ -96,7 +96,7 @@ func TestAllOutputsIncludesUTurnNeighbors(t *testing.T) {
 	if prod != 1 {
 		t.Errorf("%d productive candidates, want 1", prod)
 	}
-	if got := tab.AllOutputs(nil, 2, 2); len(got) != 0 {
+	if got := tab.AllOutputs(2, 2); len(got) != 0 {
 		t.Error("AllOutputs at destination should be empty")
 	}
 }

@@ -60,6 +60,13 @@ type Candidate struct {
 }
 
 // Table holds precomputed routing state for one topology.
+//
+// Routing is static per topology, so every candidate set a simulation can
+// ask for is materialized once at construction time. Candidates and
+// AllOutputs return those shared slices directly: callers MUST treat them
+// as read-only and MUST NOT append to, re-sort, or otherwise mutate them
+// (doing so would corrupt the answer for every later query). Copy first
+// if a mutable view is needed.
 type Table struct {
 	g    *topology.Graph
 	mesh *topology.Mesh // nil unless XY requested
@@ -71,6 +78,14 @@ type Table struct {
 	udRoot  int
 	udOrder []int
 	distUD  [][]int
+
+	// Immutable candidate tables, indexed [at*N+dst]. All are backed by
+	// shared arenas sliced per (at, dst) pair; empty sets are nil.
+	adaptive   [][]Candidate    // AdaptiveMinimal (phase-independent)
+	xy         [][]Candidate    // XY; nil unless mesh was provided
+	upDown     [2][][]Candidate // UpDown, by downPhase
+	allOut     [][]Candidate    // every output, neighbor order
+	allOutProd [][]Candidate    // every output, productive entries first
 }
 
 // NewTable precomputes routing state for g. mesh may be nil; it is
@@ -95,6 +110,7 @@ func NewTableWithRoot(g *topology.Graph, mesh *topology.Mesh, root int) (*Table,
 	if err := t.buildUpDown(); err != nil {
 		return nil, err
 	}
+	t.buildCandidateTables()
 	return t, nil
 }
 
@@ -190,13 +206,115 @@ func (t *Table) UpDownDist(r int, downPhase bool, dst int) int {
 	return t.distUD[dst][r*2+ph]
 }
 
-// AllOutputs appends every outgoing link of router `at` as a candidate
+// AllOutputs returns every outgoing link of router `at` as a candidate
 // (including U-turns — the paper's assumption 3 permits every turn),
 // with Productive computed against the BFS distance. This is the
 // "fully adaptive" candidate set: an unrestricted-routing packet that
 // has stalled may deroute over any output (misrouting is legal; DRAIN's
 // full drains guard against livelock).
-func (t *Table) AllOutputs(buf []Candidate, at, dst int) []Candidate {
+//
+// The returned slice is shared and read-only: it aliases the table's
+// precomputed state and must not be modified or appended to.
+func (t *Table) AllOutputs(at, dst int) []Candidate {
+	return t.allOut[at*t.g.N()+dst]
+}
+
+// AllOutputsPreferProductive is AllOutputs with the productive candidates
+// ordered first (the liveness analysis follows the first blocked target,
+// so forced rotations should track desired moves). Same read-only
+// contract as AllOutputs.
+func (t *Table) AllOutputsPreferProductive(at, dst int) []Candidate {
+	return t.allOutProd[at*t.g.N()+dst]
+}
+
+// Candidates returns the legal next-hop candidates for a packet at router
+// `at` heading to dst under algorithm k. downPhase is the packet's
+// current up*/down* phase; for AdaptiveMinimal and XY it is ignored and
+// the returned candidates carry DownPhase=false (the phase is meaningless
+// outside up*/down* and is never consumed for such packets). At the
+// destination router it returns no candidates — the caller ejects
+// instead.
+//
+// The returned slice is shared and read-only: it aliases the table's
+// precomputed state and must not be modified or appended to.
+func (t *Table) Candidates(k Kind, at, dst int, downPhase bool) []Candidate {
+	i := at*t.g.N() + dst
+	switch k {
+	case AdaptiveMinimal:
+		return t.adaptive[i]
+	case XY:
+		if t.xy == nil {
+			return nil
+		}
+		return t.xy[i]
+	case UpDown:
+		if downPhase {
+			return t.upDown[1][i]
+		}
+		return t.upDown[0][i]
+	}
+	return nil
+}
+
+// buildCandidateTables materializes every candidate set once. Each table
+// is generated through the per-pair algorithm below and frozen into a
+// shared arena so later queries are allocation-free lookups.
+func (t *Table) buildCandidateTables() {
+	n := t.g.N()
+	build := func(gen func(buf []Candidate, at, dst int) []Candidate) [][]Candidate {
+		out := make([][]Candidate, n*n)
+		var arena []Candidate // one backing array for the whole table
+		var scratch []Candidate
+		total := 0
+		for at := 0; at < n; at++ {
+			for dst := 0; dst < n; dst++ {
+				scratch = gen(scratch[:0], at, dst)
+				total += len(scratch)
+			}
+		}
+		arena = make([]Candidate, 0, total)
+		for at := 0; at < n; at++ {
+			for dst := 0; dst < n; dst++ {
+				scratch = gen(scratch[:0], at, dst)
+				if len(scratch) == 0 {
+					continue
+				}
+				start := len(arena)
+				arena = append(arena, scratch...)
+				out[at*n+dst] = arena[start:len(arena):len(arena)]
+			}
+		}
+		return out
+	}
+	t.adaptive = build(t.appendAdaptive)
+	if t.mesh != nil {
+		t.xy = build(t.appendXY)
+	}
+	t.upDown[0] = build(func(buf []Candidate, at, dst int) []Candidate {
+		return t.appendUpDown(buf, at, dst, false)
+	})
+	t.upDown[1] = build(func(buf []Candidate, at, dst int) []Candidate {
+		return t.appendUpDown(buf, at, dst, true)
+	})
+	t.allOut = build(t.appendAllOutputs)
+	t.allOutProd = build(func(buf []Candidate, at, dst int) []Candidate {
+		all := t.allOut[at*t.g.N()+dst]
+		for _, c := range all {
+			if c.Productive {
+				buf = append(buf, c)
+			}
+		}
+		for _, c := range all {
+			if !c.Productive {
+				buf = append(buf, c)
+			}
+		}
+		return buf
+	})
+}
+
+// appendAllOutputs generates the AllOutputs set for one (at, dst) pair.
+func (t *Table) appendAllOutputs(buf []Candidate, at, dst int) []Candidate {
 	if at == dst {
 		return buf
 	}
@@ -208,64 +326,68 @@ func (t *Table) AllOutputs(buf []Candidate, at, dst int) []Candidate {
 	return buf
 }
 
-// Candidates appends the legal next-hop candidates for a packet at router
-// `at` heading to dst under algorithm k, and returns the extended slice.
-// downPhase is the packet's current up*/down* phase (ignored by other
-// algorithms). At the destination router it returns no candidates — the
-// caller ejects instead.
-func (t *Table) Candidates(buf []Candidate, k Kind, at, dst int, downPhase bool) []Candidate {
+// appendAdaptive generates the minimal fully adaptive set for one pair.
+func (t *Table) appendAdaptive(buf []Candidate, at, dst int) []Candidate {
 	if at == dst {
 		return buf
 	}
-	switch k {
-	case AdaptiveMinimal:
-		cur := t.dist[at][dst]
-		for _, nb := range t.g.Neighbors(at) {
-			if t.dist[nb][dst] < cur {
-				id, _ := t.g.LinkID(at, nb)
-				buf = append(buf, Candidate{LinkID: id, DownPhase: downPhase, Productive: true})
-			}
+	cur := t.dist[at][dst]
+	for _, nb := range t.g.Neighbors(at) {
+		if t.dist[nb][dst] < cur {
+			id, _ := t.g.LinkID(at, nb)
+			buf = append(buf, Candidate{LinkID: id, Productive: true})
 		}
-	case XY:
-		if t.mesh == nil {
-			return buf
+	}
+	return buf
+}
+
+// appendXY generates the dimension-order hop for one pair.
+func (t *Table) appendXY(buf []Candidate, at, dst int) []Candidate {
+	if at == dst {
+		return buf
+	}
+	m := t.mesh
+	x, y := m.XY(at)
+	dx, dy := m.XY(dst)
+	var next int
+	switch {
+	case x < dx:
+		next = m.RouterAt(x+1, y)
+	case x > dx:
+		next = m.RouterAt(x-1, y)
+	case y < dy:
+		next = m.RouterAt(x, y+1)
+	default:
+		next = m.RouterAt(x, y-1)
+	}
+	if id, ok := t.g.LinkID(at, next); ok {
+		buf = append(buf, Candidate{LinkID: id, Productive: true})
+	}
+	return buf
+}
+
+// appendUpDown generates the legal up*/down* hops for one pair and phase.
+func (t *Table) appendUpDown(buf []Candidate, at, dst int, downPhase bool) []Candidate {
+	if at == dst {
+		return buf
+	}
+	cur := t.UpDownDist(at, downPhase, dst)
+	if cur < 0 {
+		return buf
+	}
+	for _, nb := range t.g.Neighbors(at) {
+		up := t.IsUp(at, nb)
+		if downPhase && up {
+			continue // an up turn after going down is illegal
 		}
-		m := t.mesh
-		x, y := m.XY(at)
-		dx, dy := m.XY(dst)
-		var next int
-		switch {
-		case x < dx:
-			next = m.RouterAt(x+1, y)
-		case x > dx:
-			next = m.RouterAt(x-1, y)
-		case y < dy:
-			next = m.RouterAt(x, y+1)
-		default:
-			next = m.RouterAt(x, y-1)
-		}
-		if id, ok := t.g.LinkID(at, next); ok {
-			buf = append(buf, Candidate{LinkID: id, DownPhase: downPhase, Productive: true})
-		}
-	case UpDown:
-		cur := t.UpDownDist(at, downPhase, dst)
-		if cur < 0 {
-			return buf
-		}
-		for _, nb := range t.g.Neighbors(at) {
-			up := t.IsUp(at, nb)
-			if downPhase && up {
-				continue // an up turn after going down is illegal
-			}
-			nextPhase := downPhase || !up
-			if t.UpDownDist(nb, nextPhase, dst) == cur-1 {
-				id, _ := t.g.LinkID(at, nb)
-				buf = append(buf, Candidate{
-					LinkID:     id,
-					DownPhase:  nextPhase,
-					Productive: t.dist[nb][dst] < t.dist[at][dst],
-				})
-			}
+		nextPhase := downPhase || !up
+		if t.UpDownDist(nb, nextPhase, dst) == cur-1 {
+			id, _ := t.g.LinkID(at, nb)
+			buf = append(buf, Candidate{
+				LinkID:     id,
+				DownPhase:  nextPhase,
+				Productive: t.dist[nb][dst] < t.dist[at][dst],
+			})
 		}
 	}
 	return buf

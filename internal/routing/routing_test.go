@@ -30,7 +30,7 @@ func TestXYRoutesExactlyOnePort(t *testing.T) {
 			// Walk the XY route; it must be minimal and terminate.
 			at, hops := src, 0
 			for at != dst {
-				cands := tab.Candidates(nil, XY, at, dst, false)
+				cands := tab.Candidates(XY, at, dst, false)
 				if len(cands) != 1 {
 					t.Fatalf("XY at %d→%d: %d candidates, want 1", at, dst, len(cands))
 				}
@@ -51,7 +51,7 @@ func TestXYIsXFirst(t *testing.T) {
 	tab := newTable(t, m.Graph, m)
 	// From (0,0) to (2,2) the first hop must be +X.
 	src, dst := m.RouterAt(0, 0), m.RouterAt(2, 2)
-	cands := tab.Candidates(nil, XY, src, dst, false)
+	cands := tab.Candidates(XY, src, dst, false)
 	if len(cands) != 1 {
 		t.Fatal("want one candidate")
 	}
@@ -68,7 +68,7 @@ func TestAdaptiveMinimalIsProductiveAndComplete(t *testing.T) {
 			if src == dst {
 				continue
 			}
-			cands := tab.Candidates(nil, AdaptiveMinimal, src, dst, false)
+			cands := tab.Candidates(AdaptiveMinimal, src, dst, false)
 			if len(cands) == 0 {
 				t.Fatalf("no adaptive candidates %d→%d", src, dst)
 			}
@@ -101,7 +101,7 @@ func TestCandidatesAtDestinationEmpty(t *testing.T) {
 	m := topology.MustMesh(3, 3)
 	tab := newTable(t, m.Graph, m)
 	for _, k := range []Kind{AdaptiveMinimal, XY, UpDown} {
-		if got := tab.Candidates(nil, k, 4, 4, false); len(got) != 0 {
+		if got := tab.Candidates(k, 4, 4, false); len(got) != 0 {
 			t.Errorf("%v at destination returned %d candidates", k, len(got))
 		}
 	}
@@ -113,7 +113,7 @@ func walkUpDown(t *testing.T, tab *Table, g *topology.Graph, src, dst int) int {
 	t.Helper()
 	at, phase, hops := src, false, 0
 	for at != dst {
-		cands := tab.Candidates(nil, UpDown, at, dst, phase)
+		cands := tab.Candidates(UpDown, at, dst, phase)
 		if len(cands) == 0 {
 			t.Fatalf("up*/down* stuck at %d (phase %v) heading to %d", at, phase, dst)
 		}
@@ -234,7 +234,7 @@ func TestAdaptiveWalkProperty(t *testing.T) {
 			src, dst := rng.IntN(n), rng.IntN(n)
 			at, hops := src, 0
 			for at != dst {
-				cands := tab.Candidates(nil, AdaptiveMinimal, at, dst, false)
+				cands := tab.Candidates(AdaptiveMinimal, at, dst, false)
 				if len(cands) == 0 {
 					return false
 				}
@@ -270,7 +270,7 @@ func TestUpDownWalkProperty(t *testing.T) {
 			src, dst := rng.IntN(n), rng.IntN(n)
 			at, phase, hops := src, false, 0
 			for at != dst {
-				cands := tab.Candidates(nil, UpDown, at, dst, phase)
+				cands := tab.Candidates(UpDown, at, dst, phase)
 				if len(cands) == 0 {
 					return false
 				}

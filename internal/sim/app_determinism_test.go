@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"drain/internal/workload"
+)
+
+// TestAppRunDeterminism runs the same coherence workload twice with one
+// seed and requires identical results. This guards the protocol layer
+// against map-iteration-order leaks (victim selection, MSHR retry order,
+// invalidation send order): Go randomizes map iteration per run, so any
+// order-sensitive use of a map makes equal-seed runs diverge.
+func TestAppRunDeterminism(t *testing.T) {
+	run := func() AppResult {
+		r, err := Build(Params{
+			Width: 4, Height: 4, Faults: 2, FaultSeed: 3,
+			Scheme: SchemeDRAIN, Classes: 3, InjectCap: 16,
+			Epoch: 1024, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunApp(workload.MustGet("canneal"), 150, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("equal-seed app runs diverged:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}

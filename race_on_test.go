@@ -1,0 +1,8 @@
+//go:build race
+
+package drain
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build (it adds bookkeeping allocations that would trip the Step
+// allocation guard).
+const raceEnabled = true
