@@ -13,6 +13,7 @@ package drain
 //	go run ./cmd/experiments -fig all -scale full   # paper-scale sweep
 
 import (
+	"context"
 	"runtime"
 	"strconv"
 	"testing"
@@ -34,7 +35,7 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatalf("experiment %s not registered", id)
 	}
 	for i := 0; i < b.N; i++ {
-		tables, err := e.Run(experiments.Quick, uint64(i)+1)
+		tables, err := e.Run(context.Background(), experiments.Quick, uint64(i)+1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"os"
 	"strings"
@@ -20,13 +21,28 @@ import (
 )
 
 func main() {
-	mesh := flag.String("mesh", "4x4", "mesh dimensions WxH")
-	faults := flag.Int("faults", 0, "random link failures")
-	faultSeed := flag.Uint64("fault-seed", 1, "fault pattern seed")
-	alg := flag.String("alg", "euler", "path algorithm: euler (Hierholzer) or search (Hawick-James style)")
-	chiplets := flag.Int("chiplets", 0, "build a chiplet system of this many 2x2 chiplets instead of a mesh")
-	turns := flag.Bool("turns", false, "print per-router turn tables")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program with its edges injected, so tests can drive
+// flag parsing and golden-compare the output. Exit codes: 0 success,
+// 1 runtime error, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("drainpath", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mesh := fs.String("mesh", "4x4", "mesh dimensions WxH")
+	faults := fs.Int("faults", 0, "random link failures")
+	faultSeed := fs.Uint64("fault-seed", 1, "fault pattern seed")
+	alg := fs.String("alg", "euler", "path algorithm: euler (Hierholzer) or search (Hawick-James style)")
+	chiplets := fs.Int("chiplets", 0, "build a chiplet system of this many 2x2 chiplets instead of a mesh")
+	turns := fs.Bool("turns", false, "print per-router turn tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "drainpath:", err)
+		return 1
+	}
 
 	var (
 		g   *topology.Graph
@@ -37,7 +53,7 @@ func main() {
 	} else {
 		var w, h int
 		if _, serr := fmt.Sscanf(strings.ToLower(*mesh), "%dx%d", &w, &h); serr != nil {
-			fatal(fmt.Errorf("bad -mesh %q: %v", *mesh, serr))
+			return fail(fmt.Errorf("bad -mesh %q: %v", *mesh, serr))
 		}
 		var m *topology.Mesh
 		m, err = topology.NewMesh(w, h)
@@ -46,17 +62,17 @@ func main() {
 		}
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *faults > 0 {
 		rng := rand.New(rand.NewPCG(*faultSeed, *faultSeed^0xb5297a4d))
 		g, err = topology.RemoveRandomLinks(g, *faults, rng)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 
-	fmt.Printf("topology: %d routers, %d bidirectional edges, %d unidirectional links, diameter %d\n",
+	fmt.Fprintf(stdout, "topology: %d routers, %d bidirectional edges, %d unidirectional links, diameter %d\n",
 		g.N(), len(g.Edges()), g.NumLinks(), g.Diameter())
 
 	start := time.Now()
@@ -70,17 +86,17 @@ func main() {
 		err = fmt.Errorf("unknown -alg %q", *alg)
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	elapsed := time.Since(start)
 
 	if err := drainpath.Validate(g, p); err != nil {
-		fatal(fmt.Errorf("internal error: produced path is invalid: %w", err))
+		return fail(fmt.Errorf("internal error: produced path is invalid: %w", err))
 	}
-	fmt.Printf("drain path found in %v: %d links, covers all links, single cycle\n", elapsed, p.Len())
-	fmt.Printf("path: %s\n", p)
+	fmt.Fprintf(stdout, "drain path found in %v: %d links, covers all links, single cycle\n", elapsed, p.Len())
+	fmt.Fprintf(stdout, "path: %s\n", p)
 	if *turns {
-		fmt.Println("\nturn tables (input link -> output link per router):")
+		fmt.Fprintln(stdout, "\nturn tables (input link -> output link per router):")
 		tt := p.TurnTable(g)
 		for r, tab := range tt {
 			ins, outs := tab[0], tab[1]
@@ -94,12 +110,8 @@ func main() {
 				}
 				fmt.Fprintf(&b, "%v→%v", g.Link(ins[i]), g.Link(outs[i]))
 			}
-			fmt.Printf("  router %2d: %s\n", r, b.String())
+			fmt.Fprintf(stdout, "  router %2d: %s\n", r, b.String())
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "drainpath:", err)
-	os.Exit(1)
+	return 0
 }

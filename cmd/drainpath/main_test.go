@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// elapsedRe matches the only nondeterministic token in the output: the
+// wall-clock time on the "drain path found in ..." line.
+var elapsedRe = regexp.MustCompile(`found in [^:]+:`)
+
+func normalize(out string) string {
+	return elapsedRe.ReplaceAllString(out, "found in <elapsed>:")
+}
+
+// TestGoldenFaultyMesh runs the program against a small faulty mesh and
+// compares the full (timing-normalized) output to a checked-in golden
+// file. Regenerate with: go test ./cmd/drainpath -run Golden -update
+func TestGoldenFaultyMesh(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-mesh", "4x4", "-faults", "2", "-fault-seed", "3", "-turns"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	got := normalize(stdout.String())
+
+	golden := filepath.Join("testdata", "faulty_mesh_4x4.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The path must be deterministic run to run, not just against the
+	// golden snapshot.
+	var again bytes.Buffer
+	if code := run([]string{"-mesh", "4x4", "-faults", "2", "-fault-seed", "3", "-turns"}, &again, &stderr); code != 0 {
+		t.Fatalf("second run exit %d", code)
+	}
+	if normalize(again.String()) != got {
+		t.Error("two identical invocations produced different output")
+	}
+}
+
+// TestSmokeVariants exercises the other topology/algorithm flags enough
+// to catch wiring regressions.
+func TestSmokeVariants(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"plain mesh", []string{"-mesh", "3x3"}},
+		{"search alg", []string{"-mesh", "4x4", "-faults", "1", "-alg", "search"}},
+		{"chiplets", []string{"-chiplets", "2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+			}
+			out := stdout.String()
+			if !strings.Contains(out, "topology:") || !strings.Contains(out, "drain path found in") {
+				t.Errorf("missing expected sections in output:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestFlagErrors pins the exit codes for usage and runtime errors.
+func TestFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+
+	stderr.Reset()
+	if code := run([]string{"-mesh", "banana"}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad mesh: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "bad -mesh") {
+		t.Errorf("bad mesh error not reported: %q", stderr.String())
+	}
+
+	stderr.Reset()
+	if code := run([]string{"-mesh", "4x4", "-alg", "quantum"}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad alg: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown -alg") {
+		t.Errorf("bad alg error not reported: %q", stderr.String())
+	}
+}

@@ -22,27 +22,8 @@ import (
 	"drain/internal/workload"
 )
 
-func parseScheme(s string) (sim.Scheme, error) {
-	switch s {
-	case "none":
-		return sim.SchemeNone, nil
-	case "ideal":
-		return sim.SchemeIdeal, nil
-	case "escape", "escape-vc":
-		return sim.SchemeEscapeVC, nil
-	case "spin":
-		return sim.SchemeSPIN, nil
-	case "drain":
-		return sim.SchemeDRAIN, nil
-	case "updown":
-		return sim.SchemeUpDown, nil
-	default:
-		return 0, fmt.Errorf("unknown scheme %q (none|ideal|escape|spin|drain|updown)", s)
-	}
-}
-
 func main() {
-	scheme := flag.String("scheme", "drain", "deadlock-freedom scheme: none, ideal, escape, spin, drain, updown")
+	scheme := flag.String("scheme", "drain", "deadlock-freedom scheme: none, ideal, escape, spin, drain, updown, dor")
 	mesh := flag.String("mesh", "8x8", "mesh dimensions WxH")
 	faults := flag.Int("faults", 0, "random bidirectional link failures (connectivity preserved)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault pattern seed")
@@ -88,7 +69,7 @@ func main() {
 	}
 	defer runAtExit()
 
-	sch, err := parseScheme(*scheme)
+	sch, err := sim.ParseScheme(*scheme)
 	if err != nil {
 		fatal(err)
 	}

@@ -10,14 +10,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"drain/internal/experiments"
@@ -49,6 +52,12 @@ func run() int {
 	}
 
 	experiments.SetParallelism(*parallel)
+
+	// Ctrl-C / SIGTERM cancels the in-flight sweep: the context reaches
+	// every simulation step loop, so long full-scale runs stop within
+	// noc.CancelCheckEvery cycles instead of burning cores.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -118,10 +127,13 @@ func run() int {
 			continue
 		}
 		start := time.Now()
-		tables, err := e.Run(sc, *seed)
+		tables, err := e.Run(ctx, sc, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
 			failed++
+			if ctx.Err() != nil {
+				return 1 // interrupted: later figures would fail the same way
+			}
 			continue
 		}
 		jsonEntries = append(jsonEntries, jsonEntry{
@@ -131,12 +143,7 @@ func run() int {
 			Tables:  tables,
 		})
 		var b strings.Builder
-		fmt.Fprintf(&b, "## %s — %s\n\n", e.ID, e.Title)
-		fmt.Fprintf(&b, "Paper: %s\n\n", e.Paper)
-		for _, t := range tables {
-			b.WriteString(t.Markdown())
-			b.WriteString("\n")
-		}
+		b.WriteString(experiments.RenderFigure(e, tables))
 		fmt.Fprintf(&b, "_(scale=%v, seed=%d, took %v)_\n", sc, *seed, time.Since(start).Round(time.Millisecond))
 		fmt.Println(b.String())
 		if *out != "" {

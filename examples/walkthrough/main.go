@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	if !ok {
 		log.Fatal("fig8 experiment not registered")
 	}
-	tables, err := e.Run(experiments.Quick, 1)
+	tables, err := e.Run(context.Background(), experiments.Quick, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

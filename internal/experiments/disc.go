@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -23,7 +24,7 @@ func init() {
 // disc runs DRAIN and the up*/down*-escape baseline on the discussion
 // section's topology classes: a chiplet composition and low-radix random
 // regular graphs.
-func disc(sc Scale, seed uint64) ([]Table, error) {
+func disc(ctx context.Context, sc Scale, seed uint64) ([]Table, error) {
 	warm, meas := int64(1000), int64(5000)
 	trials := 2
 	if sc == Full {
@@ -59,7 +60,7 @@ func disc(sc Scale, seed uint64) ([]Table, error) {
 	perScheme := trials
 	perCase := len(schemes) * perScheme
 	cells := make([]discCell, len(cases)*perCase)
-	err := ForEachConfig(len(cells), func(i int) error {
+	err := ForEachConfigContext(ctx, len(cells), func(i int) error {
 		trial := i % perScheme
 		si := i / perScheme % len(schemes)
 		ci := i / perCase
@@ -78,7 +79,7 @@ func disc(sc Scale, seed uint64) ([]Table, error) {
 			if err != nil {
 				return sim.SyntheticResult{}, err
 			}
-			return r.RunSynthetic(traffic.UniformRandom{N: g.N()}, rate, warm, meas)
+			return r.RunSyntheticContext(ctx, traffic.UniformRandom{N: g.N()}, rate, warm, meas)
 		}
 		low, err := run(0.02)
 		if err != nil {

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -63,7 +64,12 @@ type Experiment struct {
 	// Paper summarizes what the original figure/table shows and the
 	// shape a successful reproduction must exhibit.
 	Paper string
-	Run   func(sc Scale, seed uint64) ([]Table, error)
+	// Run regenerates the experiment's tables. It is a pure function of
+	// (sc, seed) — ctx only cancels: an undisturbed context yields
+	// byte-identical tables for any worker count, and a cancelled one
+	// makes Run return a cancellation error promptly (bounded by
+	// noc.CancelCheckEvery simulated cycles per in-flight run).
+	Run func(ctx context.Context, sc Scale, seed uint64) ([]Table, error)
 }
 
 // registry holds all experiments keyed by ID.
@@ -85,6 +91,24 @@ func All() []Experiment {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// RenderFigure renders one experiment's regenerated tables exactly as
+// cmd/experiments prints them (heading, paper expectation, tables).
+// Deliberately excluded: wall-clock timings and anything else non-
+// deterministic, so the output is byte-identical for the same
+// (experiment, scale, seed) wherever it is produced — the property the
+// serving layer's content-addressed result cache relies on. Callers
+// wanting the CLI's timing trailer append it themselves.
+func RenderFigure(e Experiment, tables []Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", e.ID, e.Title)
+	fmt.Fprintf(&b, "Paper: %s\n\n", e.Paper)
+	for _, t := range tables {
+		b.WriteString(t.Markdown())
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 // f1, f2, f3 format floats at fixed precision for table cells.

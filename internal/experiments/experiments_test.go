@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -55,7 +56,7 @@ func TestTableMarkdown(t *testing.T) {
 func TestCheapExperiments(t *testing.T) {
 	for _, id := range []string{"fig6", "fig8", "fig9"} {
 		e, _ := ByID(id)
-		tables, err := e.Run(Quick, 1)
+		tables, err := e.Run(context.Background(), Quick, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -77,7 +78,7 @@ func TestCheapExperiments(t *testing.T) {
 
 func TestFig4WasteDominates(t *testing.T) {
 	e, _ := ByID("fig4")
-	tables, err := e.Run(Quick, 1)
+	tables, err := e.Run(context.Background(), Quick, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func fmtSscan(s string, v *float64) (int, error) {
 
 func TestFig9MOESIExtension(t *testing.T) {
 	e, _ := ByID("fig9")
-	tables, err := e.Run(Quick, 1)
+	tables, err := e.Run(context.Background(), Quick, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestFig9MOESIExtension(t *testing.T) {
 
 func TestFig9Ratios(t *testing.T) {
 	e, _ := ByID("fig9")
-	tables, err := e.Run(Quick, 1)
+	tables, err := e.Run(context.Background(), Quick, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestFig9Ratios(t *testing.T) {
 
 func TestFig8Walkthrough(t *testing.T) {
 	e, _ := ByID("fig8")
-	tables, err := e.Run(Quick, 1)
+	tables, err := e.Run(context.Background(), Quick, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

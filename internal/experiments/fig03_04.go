@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"drain/internal/power"
@@ -27,7 +28,7 @@ func init() {
 	})
 }
 
-func fig3(sc Scale, seed uint64) ([]Table, error) {
+func fig3(ctx context.Context, sc Scale, seed uint64) ([]Table, error) {
 	w, h := 4, 4
 	linksRemoved := []int{0, 2, 4, 6, 8}
 	runs := 3
@@ -48,7 +49,7 @@ func fig3(sc Scale, seed uint64) ([]Table, error) {
 	perLR := len(linksRemoved) * perCell
 	perProf := len(profs) * perLR
 	deadlocked := make([]bool, len(vcsList)*perProf)
-	err := ForEachConfig(len(deadlocked), func(i int) error {
+	err := ForEachConfigContext(ctx, len(deadlocked), func(i int) error {
 		run := i % perCell
 		li := i / perCell % len(linksRemoved)
 		wi := i / perLR % len(profs)
@@ -70,7 +71,7 @@ func fig3(sc Scale, seed uint64) ([]Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := r.RunApp(profs[wi], 0, maxCycles)
+		res, err := r.RunAppContext(ctx, profs[wi], 0, maxCycles)
 		if err != nil {
 			return err
 		}
@@ -110,7 +111,7 @@ func fig3(sc Scale, seed uint64) ([]Table, error) {
 	return tables, nil
 }
 
-func fig4(sc Scale, seed uint64) ([]Table, error) {
+func fig4(ctx context.Context, sc Scale, seed uint64) ([]Table, error) {
 	w, h := 4, 4
 	ops := int64(300)
 	maxCycles := int64(400_000)
@@ -131,7 +132,7 @@ func fig4(sc Scale, seed uint64) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := r.RunApp(prof, ops, maxCycles)
+		res, err := r.RunAppContext(ctx, prof, ops, maxCycles)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"drain/internal/core"
@@ -45,7 +46,7 @@ func init() {
 	})
 }
 
-func fig5(sc Scale, seed uint64) ([]Table, error) {
+func fig5(ctx context.Context, sc Scale, seed uint64) ([]Table, error) {
 	faults := []int{0, 4, 8, 12}
 	warm, meas := int64(1000), int64(4000)
 	patterns := 1
@@ -75,7 +76,7 @@ func fig5(sc Scale, seed uint64) ([]Table, error) {
 	perPattern := len(schemes) * perScheme
 	perFault := patterns * perPattern
 	metrics := make([]float64, len(faults)*perFault)
-	err := ForEachConfig(len(metrics), func(i int) error {
+	err := ForEachConfigContext(ctx, len(metrics), func(i int) error {
 		li := i % perScheme
 		si := i / perScheme % len(schemes)
 		pi := i / perPattern % patterns
@@ -85,7 +86,7 @@ func fig5(sc Scale, seed uint64) ([]Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := r.RunSynthetic(traffic.UniformRandom{N: 64}, loads[li].rate, warm, meas)
+		res, err := r.RunSyntheticContext(ctx, traffic.UniformRandom{N: 64}, loads[li].rate, warm, meas)
 		if err != nil {
 			return err
 		}
@@ -117,7 +118,7 @@ func fig5(sc Scale, seed uint64) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func fig6(Scale, uint64) ([]Table, error) {
+func fig6(_ context.Context, _ Scale, _ uint64) ([]Table, error) {
 	irregular, err := topology.MustMesh(3, 3).WithoutEdge(2, 5)
 	if err != nil {
 		return nil, err
@@ -167,7 +168,7 @@ func fig6(Scale, uint64) ([]Table, error) {
 // fig8 reconstructs the paper's walk-through: a 3x3 mesh with the link
 // between routers 2 and 5 faulty, two planted deadlock cycles, one drain
 // hop, and full delivery afterwards.
-func fig8(Scale, uint64) ([]Table, error) {
+func fig8(_ context.Context, _ Scale, _ uint64) ([]Table, error) {
 	g, err := topology.MustMesh(3, 3).WithoutEdge(2, 5)
 	if err != nil {
 		return nil, err
@@ -263,7 +264,7 @@ func fig8(Scale, uint64) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func fig9(Scale, uint64) ([]Table, error) {
+func fig9(_ context.Context, _ Scale, _ uint64) ([]Table, error) {
 	params := power.DefaultParams()
 	configs := []struct {
 		name string

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"drain/internal/sim"
@@ -34,7 +35,7 @@ func init() {
 
 // synthMatrix runs the three schemes across fault counts for one traffic
 // pattern and rate, averaging over fault patterns.
-func synthMatrix(sc Scale, seed uint64, patName string, rate float64, metric func(sim.SyntheticResult) float64) (Table, error) {
+func synthMatrix(ctx context.Context, sc Scale, seed uint64, patName string, rate float64, metric func(sim.SyntheticResult) float64) (Table, error) {
 	faults := []int{0, 4, 12}
 	warm, meas := int64(1000), int64(4000)
 	patterns := 2
@@ -50,7 +51,7 @@ func synthMatrix(sc Scale, seed uint64, patName string, rate float64, metric fun
 	perScheme := patterns
 	perFault := len(schemes) * perScheme
 	metrics := make([]float64, len(faults)*perFault)
-	err := ForEachConfig(len(metrics), func(i int) error {
+	err := ForEachConfigContext(ctx, len(metrics), func(i int) error {
 		pi := i % perScheme
 		si := i / perScheme % len(schemes)
 		fi := i / perFault
@@ -65,7 +66,7 @@ func synthMatrix(sc Scale, seed uint64, patName string, rate float64, metric fun
 		if err != nil {
 			return err
 		}
-		res, err := r.RunSynthetic(pat, rate, warm, meas)
+		res, err := r.RunSyntheticContext(ctx, pat, rate, warm, meas)
 		if err != nil {
 			return err
 		}
@@ -89,10 +90,10 @@ func synthMatrix(sc Scale, seed uint64, patName string, rate float64, metric fun
 	return t, nil
 }
 
-func fig10(sc Scale, seed uint64) ([]Table, error) {
+func fig10(ctx context.Context, sc Scale, seed uint64) ([]Table, error) {
 	var tables []Table
 	for _, pat := range []string{"uniform", "transpose"} {
-		t, err := synthMatrix(sc, seed, pat, 0.45,
+		t, err := synthMatrix(ctx, sc, seed, pat, 0.45,
 			func(r sim.SyntheticResult) float64 { return r.Accepted })
 		if err != nil {
 			return nil, err
@@ -104,10 +105,10 @@ func fig10(sc Scale, seed uint64) ([]Table, error) {
 	return tables, nil
 }
 
-func fig11(sc Scale, seed uint64) ([]Table, error) {
+func fig11(ctx context.Context, sc Scale, seed uint64) ([]Table, error) {
 	var tables []Table
 	for _, pat := range []string{"uniform", "transpose"} {
-		t, err := synthMatrix(sc, seed, pat, 0.02,
+		t, err := synthMatrix(ctx, sc, seed, pat, 0.02,
 			func(r sim.SyntheticResult) float64 { return r.AvgLatency })
 		if err != nil {
 			return nil, err
@@ -119,7 +120,7 @@ func fig11(sc Scale, seed uint64) ([]Table, error) {
 	return tables, nil
 }
 
-func fig14(sc Scale, seed uint64) ([]Table, error) {
+func fig14(ctx context.Context, sc Scale, seed uint64) ([]Table, error) {
 	epochs := []int64{16, 256, 4096, 65536}
 	warm, meas := int64(1000), int64(5000)
 	if sc == Full {
@@ -134,14 +135,14 @@ func fig14(sc Scale, seed uint64) ([]Table, error) {
 	// One job per (epoch, load point).
 	rates := []float64{0.02, 0.45}
 	metrics := make([]float64, len(epochs)*len(rates))
-	err := ForEachConfig(len(metrics), func(i int) error {
+	err := ForEachConfigContext(ctx, len(metrics), func(i int) error {
 		ri := i % len(rates)
 		ei := i / len(rates)
 		r, err := sim.Build(sim.Params{Width: 8, Height: 8, Scheme: sim.SchemeDRAIN, Epoch: epochs[ei], Seed: seed})
 		if err != nil {
 			return err
 		}
-		res, err := r.RunSynthetic(traffic.UniformRandom{N: 64}, rates[ri], warm, meas)
+		res, err := r.RunSyntheticContext(ctx, traffic.UniformRandom{N: 64}, rates[ri], warm, meas)
 		if err != nil {
 			return err
 		}

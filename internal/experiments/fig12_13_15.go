@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"drain/internal/sim"
@@ -49,7 +50,7 @@ func appConfigs() []appConfig {
 }
 
 // appMatrix runs the Fig. 12/13 configuration grid for one suite.
-func appMatrix(sc Scale, seed uint64, suite string, w, h int) ([]Table, error) {
+func appMatrix(ctx context.Context, sc Scale, seed uint64, suite string, w, h int) ([]Table, error) {
 	profiles := workload.Suite(suite)
 	faultsList := []int{0, 8}
 	ops := int64(200)
@@ -81,7 +82,7 @@ func appMatrix(sc Scale, seed uint64, suite string, w, h int) ([]Table, error) {
 	perProf := len(cfgs)
 	perFault := len(profiles) * perProf
 	cells := make([]appCell, len(faultsList)*perFault)
-	err := ForEachConfig(len(cells), func(i int) error {
+	err := ForEachConfigContext(ctx, len(cells), func(i int) error {
 		ci := i % perProf
 		wi := i / perProf % len(profiles)
 		fi := i / perFault
@@ -97,7 +98,7 @@ func appMatrix(sc Scale, seed uint64, suite string, w, h int) ([]Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := r.RunApp(prof, ops, maxCycles)
+		res, err := r.RunAppContext(ctx, prof, ops, maxCycles)
 		if err != nil {
 			return err
 		}
@@ -154,26 +155,26 @@ func tableIDForSuite(suite string) string {
 	return "fig13"
 }
 
-func fig12(sc Scale, seed uint64) ([]Table, error) {
-	return appMatrix(sc, seed, "ligra", 8, 8)
+func fig12(ctx context.Context, sc Scale, seed uint64) ([]Table, error) {
+	return appMatrix(ctx, sc, seed, "ligra", 8, 8)
 }
 
-func fig13(sc Scale, seed uint64) ([]Table, error) {
-	parsec, err := appMatrix(sc, seed, "parsec", 4, 4)
+func fig13(ctx context.Context, sc Scale, seed uint64) ([]Table, error) {
+	parsec, err := appMatrix(ctx, sc, seed, "parsec", 4, 4)
 	if err != nil {
 		return nil, err
 	}
 	if sc == Quick {
 		return parsec, nil
 	}
-	splash, err := appMatrix(sc, seed, "splash2", 4, 4)
+	splash, err := appMatrix(ctx, sc, seed, "splash2", 4, 4)
 	if err != nil {
 		return nil, err
 	}
 	return append(parsec, splash...), nil
 }
 
-func fig15(sc Scale, seed uint64) ([]Table, error) {
+func fig15(ctx context.Context, sc Scale, seed uint64) ([]Table, error) {
 	profiles := []string{"pagerank", "canneal", "bfs"}
 	w, h := 4, 4
 	ops := int64(200)
@@ -194,7 +195,7 @@ func fig15(sc Scale, seed uint64) ([]Table, error) {
 	}
 	// One job per (workload, config).
 	p99 := make([]int64, len(profiles)*len(cfgs))
-	err := ForEachConfig(len(p99), func(i int) error {
+	err := ForEachConfigContext(ctx, len(p99), func(i int) error {
 		ci := i % len(cfgs)
 		wi := i / len(cfgs)
 		c := cfgs[ci]
@@ -206,7 +207,7 @@ func fig15(sc Scale, seed uint64) ([]Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := r.RunApp(workload.MustGet(profiles[wi]), ops, maxCycles)
+		res, err := r.RunAppContext(ctx, workload.MustGet(profiles[wi]), ops, maxCycles)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"drain/internal/power"
 	"drain/internal/sim"
 	"drain/internal/traffic"
@@ -16,7 +18,7 @@ func init() {
 	})
 }
 
-func headline(sc Scale, seed uint64) ([]Table, error) {
+func headline(ctx context.Context, sc Scale, seed uint64) ([]Table, error) {
 	// Latency saving vs. the proactive baseline (escape VCs) under
 	// faults: synthetic low-load latency averaged across fault counts
 	// and patterns (the proactive penalty is the turn-restricted escape
@@ -35,7 +37,7 @@ func headline(sc Scale, seed uint64) ([]Table, error) {
 	perPattern := len(schemes)
 	perFault := patterns * perPattern
 	lats := make([]float64, len(faults)*perFault)
-	err := ForEachConfig(len(lats), func(i int) error {
+	err := ForEachConfigContext(ctx, len(lats), func(i int) error {
 		si := i % perPattern
 		pi := i / perPattern % patterns
 		fi := i / perFault
@@ -46,7 +48,7 @@ func headline(sc Scale, seed uint64) ([]Table, error) {
 		}
 		// Moderate load: restrictions hurt most when the network
 		// is loaded but escape VCs are not yet saturated.
-		res, err := r.RunSynthetic(traffic.UniformRandom{N: 64}, 0.10, warm, meas)
+		res, err := r.RunSyntheticContext(ctx, traffic.UniformRandom{N: 64}, 0.10, warm, meas)
 		if err != nil {
 			return err
 		}

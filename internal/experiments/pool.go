@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -44,6 +45,17 @@ func Parallelism() int { return int(parallelism.Load()) }
 // parallelism 1 the calls run strictly serially, in order, stopping at
 // the first error — exactly the seed implementation's loop shape.
 func ForEachConfig(n int, fn func(i int) error) error {
+	return ForEachConfigContext(context.Background(), n, fn)
+}
+
+// ForEachConfigContext is ForEachConfig with cancellation: once ctx is
+// done no new index is dispatched, and after all in-flight calls return
+// the context error is reported (unless an earlier real error takes
+// precedence under the lowest-index rule). fn should itself observe ctx
+// (e.g. via sim's *Context runners) so in-flight runs also stop
+// promptly; ForEachConfigContext never abandons a running fn, so when
+// it returns no worker goroutine is left behind.
+func ForEachConfigContext(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -53,6 +65,9 @@ func ForEachConfig(n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -66,7 +81,7 @@ func ForEachConfig(n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -81,5 +96,5 @@ func ForEachConfig(n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

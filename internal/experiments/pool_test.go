@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // withParallelism runs fn with the given worker count and restores the
@@ -104,6 +107,55 @@ func TestForEachConfigSerialStopsEarly(t *testing.T) {
 	}
 }
 
+// TestForEachConfigContextCancel proves a cancelled fan-out returns
+// promptly, dispatches no further indices, and leaves no worker
+// goroutine behind.
+func TestForEachConfigContextCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		withParallelism(t, workers, func() {
+			base := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			var calls atomic.Int32
+			const n = 10_000
+			done := make(chan error, 1)
+			go func() {
+				done <- ForEachConfigContext(ctx, n, func(i int) error {
+					calls.Add(1)
+					if calls.Load() == 5 {
+						cancel()
+					}
+					// Simulate work that itself observes ctx, as sim runs do.
+					select {
+					case <-ctx.Done():
+						return ctx.Err()
+					case <-time.After(time.Millisecond):
+						return nil
+					}
+				})
+			}()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("workers=%d: cancelled fan-out did not return", workers)
+			}
+			if got := calls.Load(); got >= n {
+				t.Errorf("workers=%d: all %d indices ran despite cancellation", workers, got)
+			}
+			deadline := time.Now().Add(2 * time.Second)
+			for time.Now().Before(deadline) && runtime.NumGoroutine() > base {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if got := runtime.NumGoroutine(); got > base {
+				t.Errorf("workers=%d: %d goroutines after cancel, baseline %d", workers, got, base)
+			}
+			cancel()
+		})
+	}
+}
+
 // renderTables renders an experiment's tables the way cmd/experiments
 // writes them, minus the timing line.
 func renderTables(tables []Table) string {
@@ -129,14 +181,14 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 	var serial, fanned string
 	withParallelism(t, 1, func() {
-		tables, err := e.Run(Quick, 1)
+		tables, err := e.Run(context.Background(), Quick, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		serial = renderTables(tables)
 	})
 	withParallelism(t, 8, func() {
-		tables, err := e.Run(Quick, 1)
+		tables, err := e.Run(context.Background(), Quick, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,49 @@
+package noc
+
+import (
+	"testing"
+
+	"drain/internal/routing"
+	"drain/internal/topology"
+)
+
+// InFlightPackets must count a packet in motion exactly once: while a
+// transfer serializes, the packet sits in its upstream VC slot *and* in
+// n.inflights, and the count once summed both (so conservation checks
+// failed whenever a snapshot caught a link mid-transfer).
+func TestInFlightPacketsCountsTransfersOnce(t *testing.T) {
+	m, err := topology.NewMesh(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{Graph: m.Graph, VNets: 1, VCsPerVN: 2, Classes: 1,
+		Routing: routing.AdaptiveMinimal, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A multi-flit packet keeps the link busy for several cycles, so some
+	// Step leaves it mid-transfer.
+	if !n.Inject(n.NewPacket(0, 3, 0, 4)) {
+		t.Fatal("inject failed")
+	}
+	sawTransfer := false
+	for cyc := 0; cyc < 100; cyc++ {
+		n.Step()
+		if n.InflightCount() > 0 {
+			sawTransfer = true
+			if got := n.InFlightPackets(); got != 1 {
+				t.Fatalf("cycle %d: InFlightPackets = %d mid-transfer, want 1", cyc, got)
+			}
+		}
+		if n.PopEjected(3, 0) != nil {
+			if got := n.InFlightPackets(); got != 0 {
+				t.Fatalf("after delivery: InFlightPackets = %d, want 0", got)
+			}
+			if !sawTransfer {
+				t.Fatal("packet delivered without ever appearing in a link transfer")
+			}
+			return
+		}
+	}
+	t.Fatal("packet never delivered")
+}

@@ -236,9 +236,12 @@ func (n *Network) OccupiedVCs() int {
 }
 
 // InFlightPackets returns the total packets anywhere in the network:
-// injection queues, VCs, links, and ejection queues.
+// injection queues, VCs, and ejection queues. A packet mid-transfer on
+// a link still occupies its upstream VC slot (land() frees it on
+// completion), so the occupancy scan already covers every flight —
+// counting n.inflights too would double-count packets in motion.
 func (n *Network) InFlightPackets() int {
-	total := len(n.inflights)
+	total := 0
 	for r := 0; r < n.g.N(); r++ {
 		for c := 0; c < n.cfg.Classes; c++ {
 			total += n.injQ[r][c].Len() + n.ejQ[r][c].Len()

@@ -1,6 +1,33 @@
 package noc
 
-import "drain/internal/routing"
+import (
+	"context"
+
+	"drain/internal/routing"
+)
+
+// CancelCheckEvery is how often (in cycles) StepContext polls its
+// context. It bounds how long a cancelled run keeps stepping: a caller
+// driving the network exclusively through StepContext observes the
+// cancellation within CancelCheckEvery cycles. A power of two keeps the
+// per-cycle cost to one mask-and-branch.
+const CancelCheckEvery = 1024
+
+// StepContext advances the network by one cycle like Step, first
+// checking ctx every CancelCheckEvery cycles. It returns ctx.Err() (and
+// leaves the network un-stepped) once the context is cancelled, nil
+// otherwise. With context.Background() it is behaviorally identical to
+// Step: the check never fires an error and consumes no randomness, so
+// determinism is unaffected.
+func (n *Network) StepContext(ctx context.Context) error {
+	if n.cycle&(CancelCheckEvery-1) == 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	n.Step()
+	return nil
+}
 
 // request is an input VC asking for outputs this cycle (scratch state).
 type request struct {

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := newResultCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("body-a"))
+	got, ok := c.Get("a")
+	if !ok || !bytes.Equal(got, []byte("body-a")) {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	if h, m := c.Hits(), c.Misses(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", h, m)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	// Touch a so b becomes least recently used.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", []byte("C"))
+	if c.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+}
+
+func TestCachePutRefreshesRecency(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Put("a", []byte("A")) // refresh, not duplicate
+	if c.Len() != 2 {
+		t.Fatalf("Len=%d after re-put, want 2", c.Len())
+	}
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted after a was refreshed")
+	}
+}
+
+func TestCacheCapacityBound(t *testing.T) {
+	c := newResultCache(8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+		if c.Len() > 8 {
+			t.Fatalf("cache grew to %d entries, cap 8", c.Len())
+		}
+	}
+	if c.Len() != 8 {
+		t.Fatalf("Len=%d, want 8", c.Len())
+	}
+}

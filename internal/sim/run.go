@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -44,6 +45,14 @@ type SyntheticResult struct {
 // For SchemeNone the run additionally watches for persistent deadlocks
 // and stops early when one is confirmed.
 func (r *Runner) RunSynthetic(pattern traffic.Pattern, rate float64, warmup, measure int64) (SyntheticResult, error) {
+	return r.RunSyntheticContext(context.Background(), pattern, rate, warmup, measure)
+}
+
+// RunSyntheticContext is RunSynthetic with cancellation: the step loop
+// polls ctx every noc.CancelCheckEvery cycles and returns a
+// cancellation error (wrapping ctx.Err()) within that cycle bound. With
+// context.Background() the results are byte-identical to RunSynthetic.
+func (r *Runner) RunSyntheticContext(ctx context.Context, pattern traffic.Pattern, rate float64, warmup, measure int64) (SyntheticResult, error) {
 	res := SyntheticResult{Offered: rate}
 	gen := traffic.NewGenerator(pattern, rate, r.Params.Seed^0x1234)
 	gen.CtrlFraction = max(0, r.Params.CtrlFraction)
@@ -76,7 +85,9 @@ func (r *Runner) RunSynthetic(pattern traffic.Pattern, rate float64, warmup, mea
 		if !r.Net.Frozen() {
 			gen.Tick(r.Net)
 		}
-		r.Net.Step()
+		if err := r.Net.StepContext(ctx); err != nil {
+			return res, fmt.Errorf("sim: synthetic run cancelled at cycle %d: %w", r.Net.Cycle(), err)
+		}
 		if err := r.TickScheme(); err != nil {
 			return res, err
 		}
@@ -121,8 +132,18 @@ func (r *Runner) RunSynthetic(pattern traffic.Pattern, rate float64, warmup, mea
 // LoadSweep measures a latency/throughput curve: one fresh runner per
 // offered rate (networks are not reusable across rates).
 func LoadSweep(p Params, patternName string, rates []float64, warmup, measure int64) (stats.Curve, error) {
+	return LoadSweepContext(context.Background(), p, patternName, rates, warmup, measure)
+}
+
+// LoadSweepContext is LoadSweep with cancellation: ctx is threaded into
+// every per-rate run (see RunSyntheticContext) and also checked between
+// rates.
+func LoadSweepContext(ctx context.Context, p Params, patternName string, rates []float64, warmup, measure int64) (stats.Curve, error) {
 	var curve stats.Curve
 	for _, rate := range rates {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: load sweep cancelled: %w", err)
+		}
 		r, err := Build(p)
 		if err != nil {
 			return nil, err
@@ -131,7 +152,7 @@ func LoadSweep(p Params, patternName string, rates []float64, warmup, measure in
 		if err != nil {
 			return nil, err
 		}
-		res, err := r.RunSynthetic(pat, rate, warmup, measure)
+		res, err := r.RunSyntheticContext(ctx, pat, rate, warmup, measure)
 		if err != nil {
 			return nil, err
 		}
@@ -165,6 +186,14 @@ type AppResult struct {
 // RunApp executes a coherence workload to completion (every core
 // performs opsTarget memory operations) or until maxCycles.
 func (r *Runner) RunApp(prof workload.Profile, opsTarget, maxCycles int64) (AppResult, error) {
+	return r.RunAppContext(context.Background(), prof, opsTarget, maxCycles)
+}
+
+// RunAppContext is RunApp with cancellation: the step loop polls ctx
+// every noc.CancelCheckEvery cycles and returns a cancellation error
+// (wrapping ctx.Err()) within that cycle bound. With
+// context.Background() the results are byte-identical to RunApp.
+func (r *Runner) RunAppContext(ctx context.Context, prof workload.Profile, opsTarget, maxCycles int64) (AppResult, error) {
 	res := AppResult{Workload: prof.Name}
 	if r.Params.Classes < coherence.NumClasses {
 		return res, fmt.Errorf("sim: coherence runs need Classes=3 (have %d)", r.Params.Classes)
@@ -196,7 +225,9 @@ func (r *Runner) RunApp(prof workload.Profile, opsTarget, maxCycles int64) (AppR
 	watch := r.Params.Scheme == SchemeNone
 	opts := noc.LivenessOpts{EjectLiveByClass: sinkClasses(r.Params.Classes)}
 	for cyc := int64(0); cyc < maxCycles; cyc++ {
-		r.Net.Step()
+		if err := r.Net.StepContext(ctx); err != nil {
+			return res, fmt.Errorf("sim: app run cancelled at cycle %d: %w", r.Net.Cycle(), err)
+		}
 		if err := r.TickScheme(); err != nil {
 			return res, err
 		}

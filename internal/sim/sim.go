@@ -49,6 +49,31 @@ const (
 	SchemeDoR
 )
 
+// ParseScheme parses a scheme name as printed by Scheme.String (plus
+// the "escape" shorthand for escape-vc). It is the single source of
+// truth for the scheme vocabulary cmd/drainsim flags and server
+// requests share.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "none":
+		return SchemeNone, nil
+	case "ideal":
+		return SchemeIdeal, nil
+	case "escape", "escape-vc":
+		return SchemeEscapeVC, nil
+	case "spin":
+		return SchemeSPIN, nil
+	case "drain":
+		return SchemeDRAIN, nil
+	case "updown":
+		return SchemeUpDown, nil
+	case "dor":
+		return SchemeDoR, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (none|ideal|escape|spin|drain|updown|dor)", s)
+	}
+}
+
 // String implements fmt.Stringer.
 func (s Scheme) String() string {
 	switch s {
@@ -159,6 +184,16 @@ func (p *Params) setDefaults() {
 		// defaulting is idempotent; RunSynthetic clamps at use.
 		p.CtrlFraction = 1.0
 	}
+}
+
+// Normalized returns a copy of p with every defaulted field resolved
+// to its effective value (exactly what Build applies). Two Params
+// values describe the same simulation iff their Normalized forms are
+// equal, which makes Normalized the canonical form for content-
+// addressed caching of run results.
+func (p Params) Normalized() Params {
+	p.setDefaults()
+	return p
 }
 
 // Runner holds one fully wired simulation instance.

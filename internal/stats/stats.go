@@ -1,6 +1,11 @@
 // Package stats provides the measurement primitives the evaluation
 // harness uses: latency samples with exact percentiles, throughput
 // windows, and load-sweep summaries.
+//
+// Empty inputs are defined, not errors: every summary of an empty
+// Sample or Curve returns 0 (never NaN, never a panic). A fully
+// deadlocked run ejects zero packets, so "no observations" is a real
+// state the tables must render; 0 is the pinned encoding of it.
 package stats
 
 import (
@@ -38,11 +43,12 @@ func (s *Sample) Mean() float64 {
 	return float64(s.sum) / float64(len(s.vals))
 }
 
-// Max returns the largest observation.
+// Max returns the largest observation (0 with no observations).
 func (s *Sample) Max() int64 { return s.max }
 
 // Percentile returns the q-quantile (0 < q ≤ 1) using the
-// nearest-rank method; 0 with no observations.
+// nearest-rank method; 0 with no observations. A q outside (0, 1]
+// clamps to the nearest observation rather than panicking.
 func (s *Sample) Percentile(q float64) int64 {
 	if len(s.vals) == 0 {
 		return 0
@@ -85,7 +91,7 @@ type Curve []LoadPoint
 
 // Saturation returns the accepted throughput at the highest offered load
 // (the post-saturation plateau, the paper's "saturation throughput" in
-// packets received/node/cycle).
+// packets received/node/cycle); 0 for an empty curve.
 func (c Curve) Saturation() float64 {
 	best := 0.0
 	for _, p := range c {
@@ -97,7 +103,7 @@ func (c Curve) Saturation() float64 {
 }
 
 // LowLoadLatency returns the average latency of the lowest offered load
-// point (the paper's "low-load latency").
+// point (the paper's "low-load latency"); 0 for an empty curve.
 func (c Curve) LowLoadLatency() float64 {
 	if len(c) == 0 {
 		return 0
@@ -134,7 +140,8 @@ var errInvalidSearch = fmt.Errorf("stats: invalid saturation search parameters")
 
 // SaturationOffered estimates the offered load at which latency exceeds
 // latFactor × the low-load latency (a conventional saturation-point
-// definition); returns the highest swept load if never exceeded.
+// definition); returns the highest swept load if never exceeded, and 0
+// for an empty curve.
 func (c Curve) SaturationOffered(latFactor float64) float64 {
 	if len(c) == 0 {
 		return 0
