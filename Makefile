@@ -1,19 +1,25 @@
 GO ?= go
 
-.PHONY: check build vet test-race test-allocs bench results clean
+.PHONY: check build vet lint test-race test-allocs bench fuzz results clean
 
-## check: build + vet + race tests + the hot-path allocation guard.
+## check: build + vet + drainvet + race tests + the hot-path allocation
+## guard.
 # The race run uses -short (race instrumentation makes the simulator ~10x
 # slower); the allocation guard needs a separate non-race run because the
 # detector's bookkeeping allocations would trip it (TestStepAllocs skips
 # itself under race).
-check: build vet test-race test-allocs
+check: build vet lint test-race test-allocs
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## lint: the repo's own static analyzers (maprange, nondet, hotalloc,
+## ctxflow) over the whole module; see internal/lint and DESIGN.md.
+lint:
+	$(GO) run ./cmd/drainvet ./...
 
 test-race:
 	$(GO) test -race -short ./...
@@ -23,6 +29,12 @@ test-allocs:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+## fuzz: short native-fuzz smoke over the noc invariant properties.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzConservation -fuzztime=$(FUZZTIME) ./internal/noc
+	$(GO) test -run=^$$ -fuzz=FuzzDrainRotation -fuzztime=$(FUZZTIME) ./internal/noc
 
 ## results: regenerate the quick-scale markdown tables under results/.
 results:

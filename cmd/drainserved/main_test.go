@@ -85,17 +85,18 @@ func TestServeAndGracefulShutdown(t *testing.T) {
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatalf("SIGTERM: %v", err)
 	}
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
+	// Wait for stdout EOF (the child exiting closes the pipe) BEFORE
+	// calling Wait: Wait closes the read side and would race the
+	// scanner goroutine out of the final log lines.
+	var tail string
 	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("exit after SIGTERM: %v (want exit 0)", err)
-		}
+	case tail = <-rest:
 	case <-time.After(30 * time.Second):
-		t.Fatal("binary did not exit within 30s of SIGTERM")
+		t.Fatal("stdout not closed within 30s of SIGTERM")
 	}
-	tail := <-rest
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("exit after SIGTERM: %v (want exit 0)", err)
+	}
 	if !strings.Contains(tail, "drainserved: stopped") {
 		t.Fatalf("shutdown log missing 'stopped':\n%s", tail)
 	}

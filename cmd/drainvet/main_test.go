@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const fixtureDir = "../../internal/lint/testdata/src/nondet"
+
+func TestRunReportsFixtureFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixtureDir, "-detpkgs", "a", "./a"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[nondet] time.Now is nondeterministic") {
+		t.Errorf("missing time.Now diagnostic in output:\n%s", out)
+	}
+	if !strings.Contains(out, "a.go:") {
+		t.Errorf("diagnostics not in file:line form:\n%s", out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixtureDir, "-detpkgs", "a", "-json", "./a"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output is empty")
+	}
+	if a, _ := findings[0]["analyzer"].(string); a == "" {
+		t.Errorf("finding missing analyzer field: %v", findings[0])
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// stats is outside the deterministic set; nothing should fire.
+	code := run([]string{"-C", "../..", "./internal/stats"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed diagnostics:\n%s", stdout.String())
+	}
+}
+
+func TestAnalyzerToggle(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixtureDir, "-detpkgs", "a", "-nondet=false", "./a"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code with nondet disabled = %d, want 0; stdout: %s", code, stdout.String())
+	}
+}

@@ -32,6 +32,7 @@
 package drain
 
 import (
+	"context"
 	"fmt"
 
 	"drain/internal/drainpath"
@@ -115,8 +116,16 @@ type Result struct {
 	Spins  int64
 }
 
-// Run executes one simulation described by cfg.
+// Run executes one simulation described by cfg. It cannot be
+// interrupted; long runs should use RunContext.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one simulation described by cfg, aborting with
+// ctx.Err() if ctx is cancelled mid-run (checked every
+// noc.CancelCheckEvery simulated cycles).
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	p := sim.Params{
 		Width: cfg.Width, Height: cfg.Height,
 		Faults: cfg.Faults, FaultSeed: cfg.FaultSeed,
@@ -146,7 +155,7 @@ func Run(cfg Config) (Result, error) {
 		if maxC <= 0 {
 			maxC = 5_000_000
 		}
-		res, err := r.RunApp(prof, ops, maxC)
+		res, err := r.RunAppContext(ctx, prof, ops, maxC)
 		if err != nil {
 			return Result{}, err
 		}
@@ -179,7 +188,7 @@ func Run(cfg Config) (Result, error) {
 	if rate <= 0 {
 		rate = 0.05
 	}
-	res, err := r.RunSynthetic(pat, rate, warm, meas)
+	res, err := r.RunSyntheticContext(ctx, pat, rate, warm, meas)
 	if err != nil {
 		return Result{}, err
 	}

@@ -204,8 +204,8 @@ type Snapshot struct {
 	InjQueued      int // messages waiting in injection queues
 	EjQueued       int // messages waiting in ejection queues
 	NetPackets     int // everything the network still holds
-	SampleBusyAddr int64
-	SampleMSHRAddr int64
+	SampleBusyAddr int64 // highest blocked directory address, -1 if none
+	SampleMSHRAddr int64 // highest outstanding miss address, -1 if none
 }
 
 // DebugSnapshot summarizes where in-flight protocol state is stuck.
@@ -214,16 +214,21 @@ func (s *System) DebugSnapshot() Snapshot {
 	snap.SampleBusyAddr, snap.SampleMSHRAddr = -1, -1
 	for r, nd := range s.nodes {
 		snap.PendingMSHRs += len(nd.mshrs)
+		// The sample fields take the maximum address rather than the
+		// last one visited, so the snapshot is identical across runs
+		// despite Go's randomized map iteration order.
+		//drain:orderfree count and max-reduce only; both are commutative
 		for _, ms := range nd.mshrs {
 			if ms.completed {
 				snap.CompletedWait++
 			}
-			snap.SampleMSHRAddr = ms.addr
+			snap.SampleMSHRAddr = max(snap.SampleMSHRAddr, ms.addr)
 		}
+		//drain:orderfree count and max-reduce only; both are commutative
 		for addr, dl := range nd.dir {
 			if dl.busy {
 				snap.BusyDirLines++
-				snap.SampleBusyAddr = addr
+				snap.SampleBusyAddr = max(snap.SampleBusyAddr, addr)
 			}
 		}
 		for c := 0; c < NumClasses; c++ {
@@ -413,6 +418,7 @@ func (s *System) pickVictim(r int) (int64, bool) {
 	// per-run-randomized iteration order.)
 	salt := s.rng.Uint64()
 	victim, best, found := int64(0), uint64(0), false
+	//drain:orderfree min-hash reduction with address tie-break selects the same victim under any visit order
 	for a := range nd.lines {
 		h := mix64(uint64(a) ^ salt)
 		if !found || h < best || (h == best && a < victim) {

@@ -168,7 +168,7 @@ func fig6(_ context.Context, _ Scale, _ uint64) ([]Table, error) {
 // fig8 reconstructs the paper's walk-through: a 3x3 mesh with the link
 // between routers 2 and 5 faulty, two planted deadlock cycles, one drain
 // hop, and full delivery afterwards.
-func fig8(_ context.Context, _ Scale, _ uint64) ([]Table, error) {
+func fig8(ctx context.Context, _ Scale, _ uint64) ([]Table, error) {
 	g, err := topology.MustMesh(3, 3).WithoutEdge(2, 5)
 	if err != nil {
 		return nil, err
@@ -214,9 +214,13 @@ func fig8(_ context.Context, _ Scale, _ uint64) ([]Table, error) {
 	for i, p := range pkts {
 		before[i] = p.At()
 	}
-	// Run until the first drain fires, then observe.
+	// Run until the first drain fires, then observe. This loop has no
+	// cycle bound (the drain epoch decides when it ends), so the ctx is
+	// the only way out if configuration ever breaks the drain trigger.
 	for ctl.Stats().Drains == 0 {
-		net.Step()
+		if err := net.StepContext(ctx); err != nil {
+			return nil, err
+		}
 		if err := ctl.Tick(); err != nil {
 			return nil, err
 		}
@@ -247,7 +251,9 @@ func fig8(_ context.Context, _ Scale, _ uint64) ([]Table, error) {
 	// Let the network finish delivering everything (more drains allowed).
 	delivered := 0
 	for cyc := 0; cyc < 2000 && delivered < len(pkts); cyc++ {
-		net.Step()
+		if err := net.StepContext(ctx); err != nil {
+			return nil, err
+		}
 		if err := ctl.Tick(); err != nil {
 			return nil, err
 		}

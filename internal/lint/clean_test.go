@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean runs every analyzer over the real module tree and
+// asserts zero findings. This is the tier-1 guarantee that the
+// deterministic packages stay free of nondeterminism, hot-path
+// allocations, unordered map iteration and uncancellable entry points.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type check is slow; skipped in -short")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not inside a module")
+	}
+	root := filepath.Dir(gomod)
+
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	findings := Analyze(DefaultConfig(), pkgs)
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+	if len(findings) > 0 {
+		t.Logf("%d finding(s): fix the code or annotate with a reasoned //drain: directive", len(findings))
+	}
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	// Target marks packages matched by the requested patterns (as
+	// opposed to dependencies pulled in for type information). Findings
+	// are only reported in target packages.
+	Target bool
+	// Std marks standard-library dependencies; their ASTs are discarded
+	// after type-checking.
+	Std bool
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load discovers the packages matching patterns (relative to dir) with
+// `go list -deps`, parses them, and type-checks them bottom-up with a
+// purely standard-library pipeline. Standard-library dependencies are
+// checked with IgnoreFuncBodies (only their exported shape matters);
+// everything else keeps its ASTs and full type info for analysis.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	byPath := map[string]*types.Package{}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			byPath["unsafe"] = types.Unsafe
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		p := &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Target:     !lp.DepOnly,
+			Std:        lp.Standard,
+			Fset:       fset,
+		}
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(lp.Dir, name), err)
+			}
+			p.Files = append(p.Files, f)
+		}
+		conf := types.Config{
+			Importer:         mapImporter(byPath),
+			IgnoreFuncBodies: lp.Standard,
+			FakeImportC:      true,
+			Error:            func(error) {}, // collect via the returned error
+		}
+		if !lp.Standard {
+			p.Info = &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+				Implicits:  map[ast.Node]types.Object{},
+			}
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, p.Files, p.Info)
+		if err != nil && !lp.Standard {
+			return nil, fmt.Errorf("lint: typecheck %s: %w", lp.ImportPath, err)
+		}
+		byPath[lp.ImportPath] = tpkg
+		p.Types = tpkg
+		if lp.Standard {
+			p.Files = nil // free: only the export shape is needed
+		}
+		out = append(out, p)
+	}
+	var kept []*Package
+	for _, p := range out {
+		if !p.Std {
+			kept = append(kept, p)
+		}
+	}
+	return kept, nil
+}
+
+// mapImporter resolves imports from already-checked packages. `go list
+// -deps` emits dependencies before dependents, so every import is
+// present by the time it is needed.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok && p != nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("lint: import %q not loaded (go list order violated?)", path)
+}
+
+// goList shells out to the go tool for package discovery — the one
+// responsibility go/ast cannot cover. CGO is disabled so the standard
+// library resolves to its pure-Go fallbacks, which the source
+// type-checker can handle.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=Dir,ImportPath,Name,GoFiles,Imports,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []listedPkg
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// forbiddenFuncs maps package path → function name → replacement advice.
+// These are ambient-nondeterminism sources: each one makes two runs with
+// the same seed diverge (wall clock, process environment, or the
+// process-seeded global rand).
+var forbiddenFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "take the simulated cycle (noc.Network.Cycle) or accept a timestamp parameter",
+		"Since": "derive durations from simulated cycles",
+		"Until": "derive durations from simulated cycles",
+	},
+	"os": {
+		"Getenv":    "thread configuration through Config/Params structs",
+		"LookupEnv": "thread configuration through Config/Params structs",
+		"Environ":   "thread configuration through Config/Params structs",
+	},
+}
+
+// randConstructors are the allowed math/rand entry points: constructors
+// that force the caller to supply an explicit seed or source. Everything
+// else at package level draws from the process-global generator.
+var randConstructors = map[string]bool{
+	"New": true, "NewPCG": true, "NewChaCha8": true, "NewSource": true, "NewZipf": true,
+}
+
+// runNondet forbids wall-clock reads, environment reads, and global
+// math/rand draws in the deterministic packages. The repository
+// convention (internal/traffic, internal/topology) is that all
+// randomness flows through an explicitly seeded *rand.Rand constructed
+// via rand.New(rand.NewPCG(seed, ...)) and passed as a parameter.
+func runNondet(c *Config, pkgs []*Package) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		if !p.Target || !c.isDeterministic(p.ImportPath) {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := p.objectOf(sel.Sel).(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				// Package-level functions only: methods (e.g. seeded
+				// (*rand.Rand).IntN) are the sanctioned path.
+				if fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				path, name := fn.Pkg().Path(), fn.Name()
+				if advice, bad := forbiddenFuncs[path][name]; bad {
+					out = append(out, p.finding("nondet", sel,
+						"%s.%s is nondeterministic across runs; %s", path, name, advice))
+					return true
+				}
+				if (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name] {
+					out = append(out, p.finding("nondet", sel,
+						"%s.%s draws from the process-global generator; use an explicitly seeded *rand.Rand parameter (rand.New(rand.NewPCG(seed, ...)))", path, name))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

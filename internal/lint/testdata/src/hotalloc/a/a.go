@@ -1,0 +1,62 @@
+// Package a exercises the hotalloc analyzer: functions reachable from a
+// //drain:hotpath root must not introduce allocations; //drain:coldpath
+// prunes amortized paths from the walk.
+package a
+
+import "fmt"
+
+type pair struct{ x, y int }
+
+type sink interface{ accept(v any) }
+
+type engine struct {
+	scratch []int
+	m       map[int]int
+	name    string
+	pairs   []pair
+}
+
+//drain:hotpath fixture root: models the per-cycle step
+func (e *engine) step(s sink, n int) {
+	buf := e.scratch[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, i) // ok: scratch-derived local
+	}
+	e.scratch = buf
+	e.pairs = append(e.pairs, pair{n, n}) // ok: field append, value literal
+	e.hot(n)
+	e.box(s, n)
+	e.amortized()
+}
+
+func (e *engine) hot(n int) {
+	s := fmt.Sprintf("%d", n) // want `\[hotalloc\] hot is hot-path reachable: fmt.Sprintf allocates`
+	e.name = e.name + s       // want `\[hotalloc\] hot is hot-path reachable: string concatenation allocates`
+	xs := make([]int, 0, n)   // want `\[hotalloc\] hot is hot-path reachable: make allocates`
+	xs = append(xs, n)        // want `\[hotalloc\] hot is hot-path reachable: append to non-scratch slice`
+	e.m[n] = n                // want `\[hotalloc\] hot is hot-path reachable: map insert may allocate`
+	ys := []int{n}            // want `\[hotalloc\] hot is hot-path reachable: slice literal allocates`
+	_, _ = xs, ys
+}
+
+func (e *engine) box(s sink, n int) {
+	s.accept(n)       // want `\[hotalloc\] box is hot-path reachable: passing int as interface any boxes the value`
+	p := &pair{n, n}  // want `\[hotalloc\] box is hot-path reachable: &pair\{...\} escapes to the heap`
+	go e.hot(p.x)     // want `\[hotalloc\] box is hot-path reachable: go statement allocates a goroutine`
+	h := e.hot        // want `\[hotalloc\] box is hot-path reachable: method value hot allocates its bound closure`
+	h(n)
+	f := func() int { return n } // ok: non-escaping literal, called locally
+	_ = f()
+}
+
+// Amortized growth is pruned from the walk with a written reason.
+//
+//drain:coldpath fixture: amortized growth, cannot run in steady state
+func (e *engine) amortized() {
+	e.scratch = append(make([]int, 0, 64), e.scratch...)
+}
+
+// idle is never reached from the root: allocations here are fine.
+func idle(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,50 @@
+// Package a exercises the nondet analyzer: wall clock, environment and
+// global rand are forbidden in deterministic packages; explicitly seeded
+// generators are the sanctioned path.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().Unix() // want `\[nondet\] time.Now is nondeterministic`
+}
+
+func took(start time.Time) time.Duration {
+	return time.Since(start) // want `\[nondet\] time.Since is nondeterministic`
+}
+
+func envTweak() string {
+	return os.Getenv("DRAIN_DEBUG") // want `\[nondet\] os.Getenv is nondeterministic`
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want `\[nondet\] math/rand.Intn draws from the process-global generator`
+}
+
+func globalDrawV2() uint64 {
+	return randv2.Uint64() // want `\[nondet\] math/rand/v2.Uint64 draws from the process-global generator`
+}
+
+func globalShuffle(xs []int) {
+	randv2.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `\[nondet\] math/rand/v2.Shuffle`
+}
+
+// Explicitly seeded generators are the convention; methods on them are
+// fine.
+func seeded(seed uint64) float64 {
+	rng := randv2.New(randv2.NewPCG(seed, seed^0x9e37))
+	return rng.Float64()
+}
+
+func seededV1(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(4)
+}
+
+// Pure time arithmetic on supplied values is fine.
+func elapsed(start, now int64) int64 { return now - start }

@@ -1,6 +1,8 @@
 package noc
 
 import (
+	"errors"
+	"fmt"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -10,158 +12,220 @@ import (
 	"drain/internal/topology"
 )
 
-// TestConservationUnderRandomConfigs is the simulator's strongest net:
-// random topologies, random VC structure, random traffic and periodic
-// drains — no packet may ever be lost, duplicated or misdelivered, and
-// the internal invariants must hold throughout.
+// errSkip marks an input that produced no simulable configuration
+// (e.g. the random graph could not be built); not a property violation.
+var errSkip = errors.New("uninteresting input")
+
+// checkConservation is the simulator's strongest net: random topologies,
+// random VC structure, random traffic and periodic drains — no packet
+// may ever be lost, duplicated or misdelivered, and the internal
+// invariants must hold throughout. It returns nil on success, errSkip
+// for inputs that produce no simulable config, and a descriptive error
+// on a property violation. Shared by the quick.Check property test and
+// the native fuzz target.
+func checkConservation(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) error {
+	rng := rand.New(rand.NewPCG(seed, seed^0xfeed))
+	nNodes := int(nRaw%12) + 4
+	g, err := topology.NewRandomConnected(nNodes, int(seed%7), rng)
+	if err != nil {
+		return errSkip
+	}
+	vnets := int(vnRaw%2) + 1
+	vcs := int(vcRaw%3) + 1
+	cfg := Config{
+		Graph: g, VNets: vnets, VCsPerVN: vcs, Classes: vnets,
+		Routing: routing.AdaptiveMinimal,
+		Seed:    seed,
+	}
+	if escRaw%2 == 0 {
+		cfg.PolicyEscape = true
+		cfg.EscapeRouting = routing.AdaptiveMinimal
+		cfg.NonStickyEscape = escRaw%4 == 0
+	}
+	net, err := New(cfg)
+	if err != nil {
+		return errSkip
+	}
+	path, err := drainpath.FindEulerian(g)
+	if err != nil {
+		return errSkip
+	}
+	next := make([]int, g.NumLinks())
+	for id := range next {
+		next[id] = path.NextID(id)
+	}
+
+	created, delivered := 0, 0
+	seen := map[int64]bool{}
+	const horizon = 1200
+	for cyc := 0; cyc < horizon; cyc++ {
+		if cyc < horizon/2 && rng.Float64() < 0.5 {
+			src := rng.IntN(nNodes)
+			dst := rng.IntN(nNodes)
+			if dst != src {
+				class := rng.IntN(vnets)
+				flits := 1 + rng.IntN(5)
+				if net.Inject(net.NewPacket(src, dst, class, flits)) {
+					created++
+				}
+			}
+		}
+		// Occasional drain window (keeps escape VCs moving and
+		// exercises the rotation path under live traffic).
+		if cfg.PolicyEscape && cyc%150 == 100 {
+			net.SetFrozen(true)
+		}
+		net.Step()
+		if cfg.PolicyEscape && cyc%150 == 110 && net.InflightCount() == 0 {
+			if _, err := net.DrainRotate(next); err != nil {
+				return fmt.Errorf("cycle %d: drain rotate: %w", cyc, err)
+			}
+			net.SetFrozen(false)
+		}
+		if cfg.PolicyEscape && cyc%150 == 130 && net.Frozen() {
+			// Quiesce took longer than 10 cycles; release anyway.
+			if net.InflightCount() == 0 {
+				if _, err := net.DrainRotate(next); err != nil {
+					return fmt.Errorf("cycle %d: late drain rotate: %w", cyc, err)
+				}
+			}
+			net.SetFrozen(false)
+		}
+		for r := 0; r < nNodes; r++ {
+			for c := 0; c < vnets; c++ {
+				for p := net.PopEjected(r, c); p != nil; p = net.PopEjected(r, c) {
+					if p.Dst != r {
+						return fmt.Errorf("cycle %d: packet %d for %d ejected at %d", cyc, p.ID, p.Dst, r)
+					}
+					if seen[p.ID] {
+						return fmt.Errorf("cycle %d: packet %d delivered twice", cyc, p.ID)
+					}
+					seen[p.ID] = true
+					delivered++
+				}
+			}
+		}
+		if cyc%16 == 0 {
+			if err := net.CheckInvariants(); err != nil {
+				return fmt.Errorf("cycle %d: %w", cyc, err)
+			}
+		}
+	}
+	// Conservation: every created packet is delivered or still in the
+	// system (deadlocks can strand packets; none may vanish).
+	if delivered+net.InFlightPackets() != created {
+		return fmt.Errorf("conservation: created=%d delivered=%d inflight=%d",
+			created, delivered, net.InFlightPackets())
+	}
+	return nil
+}
+
+// checkRotation verifies that rotating a fully loaded escape layer
+// conserves every packet (no overwrite at any fan-in). Same contract as
+// checkConservation.
+func checkRotation(seed uint64, nRaw uint8) error {
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcd))
+	nNodes := int(nRaw%10) + 4
+	g, err := topology.NewRandomConnected(nNodes, 4, rng)
+	if err != nil {
+		return errSkip
+	}
+	net, err := New(Config{
+		Graph: g, VNets: 1, VCsPerVN: 1, Classes: 1,
+		PolicyEscape:  true,
+		Routing:       routing.AdaptiveMinimal,
+		EscapeRouting: routing.AdaptiveMinimal,
+		EjectCap:      1,
+		Seed:          seed,
+	})
+	if err != nil {
+		return errSkip
+	}
+	// Fill EVERY escape buffer.
+	for _, l := range g.Links() {
+		if _, err := net.PlacePacket(l.From, l.To, rng.IntN(nNodes), 0); err != nil {
+			return fmt.Errorf("place packet on link %d->%d: %w", l.From, l.To, err)
+		}
+	}
+	path, err := drainpath.FindEulerian(g)
+	if err != nil {
+		return errSkip
+	}
+	next := make([]int, g.NumLinks())
+	for id := range next {
+		next[id] = path.NextID(id)
+	}
+	before := net.InFlightPackets()
+	net.SetFrozen(true)
+	rep, err := net.DrainRotate(next)
+	if err != nil {
+		return fmt.Errorf("drain rotate: %w", err)
+	}
+	if err := net.CheckInvariants(); err != nil {
+		return fmt.Errorf("after rotate: %w", err)
+	}
+	// All packets accounted for: moved + ejected == total, and the
+	// network still holds total (ejections moved to queues).
+	if rep.Moved+rep.Ejected != g.NumLinks() {
+		return fmt.Errorf("rotate report: moved=%d ejected=%d links=%d", rep.Moved, rep.Ejected, g.NumLinks())
+	}
+	if got := net.InFlightPackets(); got != before {
+		return fmt.Errorf("rotate lost packets: before=%d after=%d", before, got)
+	}
+	return nil
+}
+
 func TestConservationUnderRandomConfigs(t *testing.T) {
 	f := func(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) bool {
-		rng := rand.New(rand.NewPCG(seed, seed^0xfeed))
-		nNodes := int(nRaw%12) + 4
-		g, err := topology.NewRandomConnected(nNodes, int(seed%7), rng)
-		if err != nil {
+		err := checkConservation(seed, nRaw, vnRaw, vcRaw, escRaw)
+		if err != nil && !errors.Is(err, errSkip) {
+			t.Logf("seed=%d: %v", seed, err)
 			return false
 		}
-		vnets := int(vnRaw%2) + 1
-		vcs := int(vcRaw%3) + 1
-		cfg := Config{
-			Graph: g, VNets: vnets, VCsPerVN: vcs, Classes: vnets,
-			Routing: routing.AdaptiveMinimal,
-			Seed:    seed,
-		}
-		if escRaw%2 == 0 {
-			cfg.PolicyEscape = true
-			cfg.EscapeRouting = routing.AdaptiveMinimal
-			cfg.NonStickyEscape = escRaw%4 == 0
-		}
-		net, err := New(cfg)
-		if err != nil {
-			return false
-		}
-		path, err := drainpath.FindEulerian(g)
-		if err != nil {
-			return false
-		}
-		next := make([]int, g.NumLinks())
-		for id := range next {
-			next[id] = path.NextID(id)
-		}
-
-		created, delivered := 0, 0
-		seen := map[int64]bool{}
-		const horizon = 1200
-		for cyc := 0; cyc < horizon; cyc++ {
-			if cyc < horizon/2 && rng.Float64() < 0.5 {
-				src := rng.IntN(nNodes)
-				dst := rng.IntN(nNodes)
-				if dst != src {
-					class := rng.IntN(vnets)
-					flits := 1 + rng.IntN(5)
-					if net.Inject(net.NewPacket(src, dst, class, flits)) {
-						created++
-					}
-				}
-			}
-			// Occasional drain window (keeps escape VCs moving and
-			// exercises the rotation path under live traffic).
-			if cfg.PolicyEscape && cyc%150 == 100 {
-				net.SetFrozen(true)
-			}
-			net.Step()
-			if cfg.PolicyEscape && cyc%150 == 110 && net.InflightCount() == 0 {
-				if _, err := net.DrainRotate(next); err != nil {
-					return false
-				}
-				net.SetFrozen(false)
-			}
-			if cfg.PolicyEscape && cyc%150 == 130 && net.Frozen() {
-				// Quiesce took longer than 10 cycles; release anyway.
-				if net.InflightCount() == 0 {
-					if _, err := net.DrainRotate(next); err != nil {
-						return false
-					}
-				}
-				net.SetFrozen(false)
-			}
-			for r := 0; r < nNodes; r++ {
-				for c := 0; c < vnets; c++ {
-					for p := net.PopEjected(r, c); p != nil; p = net.PopEjected(r, c) {
-						if p.Dst != r || seen[p.ID] {
-							return false
-						}
-						seen[p.ID] = true
-						delivered++
-					}
-				}
-			}
-			if cyc%16 == 0 {
-				if err := net.CheckInvariants(); err != nil {
-					t.Logf("seed=%d: %v", seed, err)
-					return false
-				}
-			}
-		}
-		// Conservation: every created packet is delivered or still in the
-		// system (deadlocks can strand packets; none may vanish).
-		return delivered+net.InFlightPackets() == created
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
 }
 
-// TestDrainRotationIsPermutation: rotating a fully loaded escape layer
-// conserves every packet (no overwrite at any fan-in).
 func TestDrainRotationIsPermutation(t *testing.T) {
 	f := func(seed uint64, nRaw uint8) bool {
-		rng := rand.New(rand.NewPCG(seed, seed^0xabcd))
-		nNodes := int(nRaw%10) + 4
-		g, err := topology.NewRandomConnected(nNodes, 4, rng)
-		if err != nil {
+		err := checkRotation(seed, nRaw)
+		if err != nil && !errors.Is(err, errSkip) {
+			t.Logf("seed=%d: %v", seed, err)
 			return false
 		}
-		net, err := New(Config{
-			Graph: g, VNets: 1, VCsPerVN: 1, Classes: 1,
-			PolicyEscape:  true,
-			Routing:       routing.AdaptiveMinimal,
-			EscapeRouting: routing.AdaptiveMinimal,
-			EjectCap:      1,
-			Seed:          seed,
-		})
-		if err != nil {
-			return false
-		}
-		// Fill EVERY escape buffer.
-		for _, l := range g.Links() {
-			if _, err := net.PlacePacket(l.From, l.To, rng.IntN(nNodes), 0); err != nil {
-				return false
-			}
-		}
-		path, err := drainpath.FindEulerian(g)
-		if err != nil {
-			return false
-		}
-		next := make([]int, g.NumLinks())
-		for id := range next {
-			next[id] = path.NextID(id)
-		}
-		before := net.InFlightPackets()
-		net.SetFrozen(true)
-		rep, err := net.DrainRotate(next)
-		if err != nil {
-			return false
-		}
-		if net.CheckInvariants() != nil {
-			return false
-		}
-		// All packets accounted for: moved + ejected == total, and the
-		// network still holds total (ejections moved to queues).
-		if rep.Moved+rep.Ejected != g.NumLinks() {
-			return false
-		}
-		return net.InFlightPackets() == before
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzConservation is the native-fuzzing entry to the conservation
+// property (CI runs it for a short smoke window; run locally with
+// `go test -fuzz=FuzzConservation ./internal/noc`).
+func FuzzConservation(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(0xdead), uint8(7), uint8(1), uint8(2), uint8(1))
+	f.Add(uint64(42), uint8(11), uint8(0), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) {
+		if err := checkConservation(seed, nRaw, vnRaw, vcRaw, escRaw); err != nil && !errors.Is(err, errSkip) {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzDrainRotation is the native-fuzzing entry to the rotation
+// permutation property.
+func FuzzDrainRotation(f *testing.F) {
+	f.Add(uint64(1), uint8(0))
+	f.Add(uint64(0xbeef), uint8(9))
+	f.Add(uint64(7), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8) {
+		if err := checkRotation(seed, nRaw); err != nil && !errors.Is(err, errSkip) {
+			t.Fatal(err)
+		}
+	})
 }

@@ -54,6 +54,8 @@ func (q *pktQueue) Peek() *Packet {
 }
 
 // grow doubles the ring, unrolling the wrapped contents.
+//
+//drain:coldpath amortized ring growth; steady-state Step never triggers it (TestStepAllocs pins this)
 func (q *pktQueue) grow() {
 	size := len(q.buf) * 2
 	if size == 0 {

@@ -54,6 +54,7 @@ type job struct {
 	// ctx is the submitter's context (plus the server's force-stop):
 	// cancelling it makes the worker abandon the run within
 	// noc.CancelCheckEvery simulated cycles.
+	//drain:ctxcarrier queue element carries the submitter's ctx across the worker channel
 	ctx  context.Context
 	c    canonical
 	key  string
@@ -75,7 +76,8 @@ type Server struct {
 	queue    chan *job
 	draining bool
 
-	wg        sync.WaitGroup
+	wg sync.WaitGroup
+	//drain:ctxcarrier process-lifetime kill switch, not a call-scoped ctx; ForceStop cancels it to abort all in-flight jobs
 	forceCtx  context.Context // cancelled by ForceStop: aborts in-flight jobs
 	forceStop context.CancelFunc
 
