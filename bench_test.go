@@ -20,6 +20,7 @@ import (
 
 	"drain/internal/drainpath"
 	"drain/internal/experiments"
+	"drain/internal/noc"
 	"drain/internal/sim"
 	"drain/internal/topology"
 	"drain/internal/traffic"
@@ -75,6 +76,55 @@ func BenchmarkFig10SaturationParallel(b *testing.B) {
 	experiments.SetParallelism(runtime.GOMAXPROCS(0))
 	defer experiments.SetParallelism(prev)
 	runExperiment(b, "fig10")
+}
+
+// BenchmarkStep measures the steady-state cycle loop at three load
+// points of the paper's evaluation regime — the fig11 low-load point
+// (0.02 packets/node/cycle), a mid-load point, and the fig10 saturation
+// point (0.45) — on the 8x8 DRAIN configuration, once per engine.
+// The event/dense pairs are byte-identical runs (FuzzDenseVsEvent
+// enforces it), so the ratio is pure engine speedup; `make bench`
+// records the numbers in BENCH_noc.json.
+func BenchmarkStep(b *testing.B) {
+	loads := []struct {
+		name string
+		rate float64
+	}{
+		{"LowLoad", 0.02},
+		{"MidLoad", 0.10},
+		{"Saturation", 0.45},
+	}
+	for _, load := range loads {
+		for _, eng := range []noc.EngineKind{noc.EngineEvent, noc.EngineDense} {
+			b.Run(load.name+"/"+eng.String(), func(b *testing.B) {
+				r, err := sim.Build(sim.Params{
+					Width: 8, Height: 8, Scheme: sim.SchemeDRAIN, Seed: 1, Engine: eng,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pat := traffic.UniformRandom{N: 64}
+				// Prime to steady state so b.N windows measure the loop,
+				// not the fill transient.
+				if _, err := r.RunSynthetic(pat, load.rate, 0, 2000); err != nil {
+					b.Fatal(err)
+				}
+				const window = 5000
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := r.RunSynthetic(pat, load.rate, 0, window); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / window
+				b.ReportMetric(ns, "ns/cycle")
+				if ns > 0 {
+					b.ReportMetric(1e9/ns, "cycles/sec")
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkSimulatorCycles measures raw simulator speed: router-cycles

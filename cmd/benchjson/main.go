@@ -1,0 +1,164 @@
+// Command benchjson converts `go test -bench` output (benchstat-
+// compatible text, read from stdin) into a machine-readable JSON
+// summary. For every benchmark it records the iteration count and each
+// reported metric (ns/op, ns/cycle, cycles/sec, B/op, allocs/op, ...);
+// for BenchmarkStep's load-point sub-benchmarks it additionally pairs
+// the event- and dense-engine variants and computes the event-core
+// speedup at each load point. `make bench` pipes through it to produce
+// BENCH_noc.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Comparison pairs the two engine variants of one load point.
+type Comparison struct {
+	DenseNsPerCycle float64 `json:"dense_ns_per_cycle"`
+	EventNsPerCycle float64 `json:"event_ns_per_cycle"`
+	// Speedup is dense/event wall-clock per simulated cycle: >1 means
+	// the event core is faster at this load point.
+	Speedup float64 `json:"speedup"`
+}
+
+// Output is the BENCH_noc.json document.
+type Output struct {
+	Benchmarks   []Benchmark           `json:"benchmarks"`
+	EventVsDense map[string]Comparison `json:"event_vs_dense,omitempty"`
+	Notes        []string              `json:"notes,omitempty"`
+}
+
+type noteList []string
+
+func (n *noteList) String() string     { return strings.Join(*n, "; ") }
+func (n *noteList) Set(s string) error { *n = append(*n, s); return nil }
+
+func main() {
+	var notes noteList
+	flag.Var(&notes, "note", "free-text note to embed in the output (repeatable)")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc.Notes = notes
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads benchstat-compatible benchmark text: lines of the form
+//
+//	BenchmarkName-8  <iters>  <value> <unit>  <value> <unit> ...
+//
+// Non-benchmark lines (goos/goarch headers, PASS/ok trailers) pass
+// through unparsed.
+func parse(r io.Reader) (*Output, error) {
+	doc := &Output{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := f[0]
+		// Strip the trailing -GOMAXPROCS decoration from the last path
+		// element.
+		if i := strings.LastIndexByte(name, '-'); i > strings.LastIndexByte(name, '/') {
+			name = name[:i]
+		}
+		b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[f[i+1]] = v
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	doc.EventVsDense = compare(doc.Benchmarks)
+	return doc, nil
+}
+
+// compare pairs ".../event" and ".../dense" variants that share a
+// parent name and report ns/cycle.
+func compare(bs []Benchmark) map[string]Comparison {
+	type pair struct{ event, dense float64 }
+	pairs := map[string]*pair{}
+	for _, b := range bs {
+		i := strings.LastIndexByte(b.Name, '/')
+		if i < 0 {
+			continue
+		}
+		parent, variant := b.Name[:i], b.Name[i+1:]
+		v, ok := b.Metrics["ns/cycle"]
+		if !ok {
+			continue
+		}
+		p := pairs[parent]
+		if p == nil {
+			p = &pair{}
+			pairs[parent] = p
+		}
+		switch variant {
+		case "event":
+			p.event = v
+		case "dense":
+			p.dense = v
+		}
+	}
+	out := map[string]Comparison{}
+	for parent, p := range pairs {
+		if p.event <= 0 || p.dense <= 0 {
+			continue
+		}
+		out[parent] = Comparison{
+			DenseNsPerCycle: p.dense,
+			EventNsPerCycle: p.event,
+			Speedup:         p.dense / p.event,
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

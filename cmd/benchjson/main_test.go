@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: drain
+cpu: some cpu
+BenchmarkStep/LowLoad/event-8         	     100	    527816 ns/op	      2074 ns/cycle	    482210 cycles/sec	       0 B/op	       0 allocs/op
+BenchmarkStep/LowLoad/dense-8         	      60	    903210 ns/op	      3515 ns/cycle	    284500 cycles/sec	       0 B/op	       0 allocs/op
+BenchmarkStep/Saturation/event-8      	      12	  48100000 ns/op	      9620 ns/cycle	    103950 cycles/sec	       0 B/op	       0 allocs/op
+BenchmarkStep/Saturation/dense-8      	      12	  46500000 ns/op	      9300 ns/cycle	    107527 cycles/sec	       0 B/op	       0 allocs/op
+BenchmarkParallelSweep-8              	       5	 250000000 ns/op
+PASS
+ok  	drain	10.2s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkStep/LowLoad/event" || b.Iterations != 100 {
+		t.Fatalf("first benchmark = %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 527816, "ns/cycle": 2074, "cycles/sec": 482210, "B/op": 0, "allocs/op": 0,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("metric %q = %v, want %v", unit, got, want)
+		}
+	}
+	if got := doc.Benchmarks[4].Name; got != "BenchmarkParallelSweep" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", got)
+	}
+	if len(doc.EventVsDense) != 2 {
+		t.Fatalf("comparisons = %v, want 2 load points", doc.EventVsDense)
+	}
+	low := doc.EventVsDense["BenchmarkStep/LowLoad"]
+	if low.DenseNsPerCycle != 3515 || low.EventNsPerCycle != 2074 {
+		t.Fatalf("LowLoad comparison = %+v", low)
+	}
+	if low.Speedup < 1.69 || low.Speedup > 1.70 {
+		t.Errorf("LowLoad speedup = %v, want 3515/2074", low.Speedup)
+	}
+	sat := doc.EventVsDense["BenchmarkStep/Saturation"]
+	if sat.Speedup >= 1 {
+		// The sample encodes a slight saturation regression; the ratio
+		// must reflect it rather than clamp.
+		t.Errorf("Saturation speedup = %v, want <1", sat.Speedup)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	doc, err := parse(strings.NewReader("hello\nBenchmarkX notanumber 5 ns/op\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 || doc.EventVsDense != nil {
+		t.Fatalf("garbage parsed into %+v", doc)
+	}
+}

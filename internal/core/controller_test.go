@@ -118,3 +118,46 @@ func TestPathSearchAlgorithmOnFaultyTopology(t *testing.T) {
 		t.Errorf("search path covers %d of %d links", c.Path().Len(), g.NumLinks())
 	}
 }
+
+// TestNextWorkCycleTracksDrainSchedule pins the fast-forward hint the
+// synthetic driver uses to bound idle windows: while running it is the
+// scheduled drain, during a freeze it is the very next cycle (frozen
+// ticks account stats every cycle, so none may be skipped), and it is
+// never in the past.
+func TestNextWorkCycleTracksDrainSchedule(t *testing.T) {
+	n := drainNet(t, topology.MustMesh(3, 3).Graph, 2, 10)
+	c, err := New(n, Config{Epoch: 50, PreDrain: 3, DrainWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NextWorkCycle(); got != 50 {
+		t.Fatalf("fresh controller NextWorkCycle = %d, want first drain at 50", got)
+	}
+	sawFreeze := false
+	for i := 0; i < 200; i++ {
+		n.Step()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		got := c.NextWorkCycle()
+		if got <= n.Cycle() {
+			t.Fatalf("cycle %d: NextWorkCycle = %d is not in the future", n.Cycle(), got)
+		}
+		if c.Draining() {
+			sawFreeze = true
+			if got != n.Cycle()+1 {
+				t.Fatalf("cycle %d: frozen NextWorkCycle = %d, want %d", n.Cycle(), got, n.Cycle()+1)
+			}
+		}
+		if c.Stats().Drains == 1 && !c.Draining() {
+			// Back to running: the hint must be the next epoch boundary.
+			if got != n.Cycle()+50 {
+				t.Fatalf("post-drain NextWorkCycle = %d, want %d", got, n.Cycle()+50)
+			}
+			break
+		}
+	}
+	if !sawFreeze {
+		t.Fatal("drain window never opened")
+	}
+}

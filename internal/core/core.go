@@ -188,6 +188,18 @@ func (c *Controller) Tick() error {
 	return nil
 }
 
+// NextWorkCycle returns the next cycle at which Tick could do anything
+// observable: the scheduled drain while running, or the very next cycle
+// during a freeze (frozen phases account FrozenCycles every tick, so no
+// frozen cycle may be skipped). Drivers use it to bound idle
+// fast-forward windows (see noc.Network.NextWorkCycle).
+func (c *Controller) NextWorkCycle() int64 {
+	if c.phase == phaseRunning {
+		return c.nextDrainAt
+	}
+	return c.net.Cycle() + 1
+}
+
 // drainNow performs the rotation(s) for this drain window and sets the
 // window's end time.
 func (c *Controller) drainNow() error {

@@ -121,6 +121,13 @@ func DefaultConfig() *Config {
 		HotRoots: []string{
 			"internal/noc.Network.Step",
 			"internal/noc.Network.StepContext",
+			// Event-core entry points the synthetic driver hits between
+			// Steps: the idle fast-forward pair, the per-iteration hint,
+			// and the dirty-list ejection sink.
+			"internal/noc.Network.NextWorkCycle",
+			"internal/noc.Network.SkipIdle",
+			"internal/noc.Network.DiscardEjected",
+			"internal/traffic.Generator.SkipQuiet",
 		},
 	}
 }

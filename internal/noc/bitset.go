@@ -1,0 +1,36 @@
+package noc
+
+// bitset is a fixed-size set of small integers (router IDs) with O(1)
+// set/clear and ascending-order iteration via bits.TrailingZeros64 at
+// the use sites (the iteration is inlined in the event engine's step so
+// the hot path stays free of closure allocations). Ascending order is
+// load-bearing: the event engine must visit routers in exactly the
+// order the dense stepper's 0..N-1 scan does, or the shared RNG would
+// be consumed in a different sequence.
+type bitset struct {
+	words []uint64
+}
+
+// newBitset returns an empty set over the domain [0, n).
+func newBitset(n int) bitset {
+	return bitset{words: make([]uint64, (n+63)/64)}
+}
+
+// set adds i to the set.
+func (b *bitset) set(i int) { b.words[i>>6] |= 1 << uint(i&63) }
+
+// clear removes i from the set.
+func (b *bitset) clear(i int) { b.words[i>>6] &^= 1 << uint(i&63) }
+
+// get reports whether i is in the set.
+func (b *bitset) get(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// any reports whether the set is non-empty.
+func (b *bitset) any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -80,6 +80,14 @@ type Config struct {
 
 	// Seed drives all randomized arbitration decisions.
 	Seed uint64
+
+	// Engine selects the cycle-core implementation. The zero value is
+	// EngineEvent (activity bitmaps + timing wheel + idle fast-forward);
+	// EngineDense keeps the exhaustive per-cycle rescans. The two are
+	// byte-identical — same RNG draw sequence, same counters, same
+	// results — differing only in speed; see DESIGN.md §"Event-driven
+	// core" and FuzzDenseVsEvent.
+	Engine EngineKind
 }
 
 // Validate checks the configuration and fills zero fields with defaults.

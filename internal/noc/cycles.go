@@ -1,0 +1,27 @@
+package noc
+
+import "sync/atomic"
+
+// simCycles counts simulated cycles across every Network in the
+// process, for the drainserved /metrics throughput gauge. Networks
+// batch their ticks locally (cyclesPending) and flush in chunks so the
+// hot loop touches the shared counter at most once per cycleFlushEvery
+// cycles.
+var simCycles atomic.Int64
+
+const cycleFlushEvery = 1024
+
+// SimulatedCycles returns the total number of cycles simulated by all
+// Networks process-wide (modulo per-Network unflushed remainders of
+// less than cycleFlushEvery cycles).
+func SimulatedCycles() int64 { return simCycles.Load() }
+
+// noteCycles credits k simulated cycles to the process-wide counter,
+// batching through the per-Network pending count.
+func (n *Network) noteCycles(k int64) {
+	n.cyclesPending += k
+	if n.cyclesPending >= cycleFlushEvery {
+		simCycles.Add(n.cyclesPending)
+		n.cyclesPending = 0
+	}
+}

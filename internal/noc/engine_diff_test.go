@@ -1,0 +1,256 @@
+package noc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"drain/internal/drainpath"
+	"drain/internal/routing"
+	"drain/internal/topology"
+)
+
+// checkDenseVsEvent is the byte-identity net over the engine seam: a
+// dense-engine network and an event-engine network built from the same
+// config are driven with identical external actions (injections,
+// freezes, drain rotations, idle fast-forwards) and must remain in
+// lockstep — same cycle, same buffer contents, same ejection order,
+// same counters, and the same RNG stream position at the end. Any
+// divergence means the event engine visited a router the dense stepper
+// would not have (or vice versa) in a way that changed an arbitration
+// draw. Same contract as checkConservation: nil, errSkip, or a
+// descriptive property violation.
+func checkDenseVsEvent(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) error {
+	rng := rand.New(rand.NewPCG(seed, seed^0xd1ff))
+	nNodes := int(nRaw%12) + 4
+	g, err := topology.NewRandomConnected(nNodes, int(seed%7), rng)
+	if err != nil {
+		return errSkip
+	}
+	vnets := int(vnRaw%2) + 1
+	vcs := int(vcRaw%3) + 1
+	cfg := Config{
+		Graph: g, VNets: vnets, VCsPerVN: vcs, Classes: vnets,
+		Routing: routing.AdaptiveMinimal,
+		Seed:    seed,
+	}
+	if escRaw%2 == 0 {
+		cfg.PolicyEscape = true
+		cfg.EscapeRouting = routing.AdaptiveMinimal
+		cfg.NonStickyEscape = escRaw%4 == 0
+	}
+	cfgDense, cfgEvent := cfg, cfg
+	cfgDense.Engine = EngineDense
+	cfgEvent.Engine = EngineEvent
+	de, err := New(cfgDense)
+	if err != nil {
+		return errSkip
+	}
+	ev, err := New(cfgEvent)
+	if err != nil {
+		return errSkip
+	}
+	path, err := drainpath.FindEulerian(g)
+	if err != nil {
+		return errSkip
+	}
+	next := make([]int, g.NumLinks())
+	for id := range next {
+		next[id] = path.NextID(id)
+	}
+
+	const horizon = int64(1200)
+	for cyc := int64(0); cyc < horizon; cyc++ {
+		if cyc < horizon/2 && rng.Float64() < 0.5 {
+			src := rng.IntN(nNodes)
+			dst := rng.IntN(nNodes)
+			if dst != src {
+				class := rng.IntN(vnets)
+				flits := 1 + rng.IntN(5)
+				okD := de.Inject(de.NewPacket(src, dst, class, flits))
+				okE := ev.Inject(ev.NewPacket(src, dst, class, flits))
+				if okD != okE {
+					return fmt.Errorf("cycle %d: inject accepted dense=%v event=%v", cyc, okD, okE)
+				}
+			}
+		}
+		if cfg.PolicyEscape && cyc%150 == 100 {
+			de.SetFrozen(true)
+			ev.SetFrozen(true)
+		}
+		de.Step()
+		ev.Step()
+		if de.Cycle() != ev.Cycle() {
+			return fmt.Errorf("cycle %d: clocks diverge: dense=%d event=%d", cyc, de.Cycle(), ev.Cycle())
+		}
+		if de.InflightCount() != ev.InflightCount() {
+			return fmt.Errorf("cycle %d: inflight transfers diverge: dense=%d event=%d", cyc, de.InflightCount(), ev.InflightCount())
+		}
+		if de.InFlightPackets() != ev.InFlightPackets() {
+			return fmt.Errorf("cycle %d: in-system packets diverge: dense=%d event=%d", cyc, de.InFlightPackets(), ev.InFlightPackets())
+		}
+		if cfg.PolicyEscape && cyc%150 == 110 && de.InflightCount() == 0 {
+			if err := rotateBoth(de, ev, next); err != nil {
+				return fmt.Errorf("cycle %d: %w", cyc, err)
+			}
+			de.SetFrozen(false)
+			ev.SetFrozen(false)
+		}
+		if cfg.PolicyEscape && cyc%150 == 130 && de.Frozen() {
+			if de.InflightCount() == 0 {
+				if err := rotateBoth(de, ev, next); err != nil {
+					return fmt.Errorf("cycle %d: late %w", cyc, err)
+				}
+			}
+			de.SetFrozen(false)
+			ev.SetFrozen(false)
+		}
+		// Drain ejection queues in lockstep: pop order is part of the
+		// byte-identity contract (results files record it).
+		for r := 0; r < nNodes; r++ {
+			for c := 0; c < vnets; c++ {
+				for {
+					pd := de.PopEjected(r, c)
+					pe := ev.PopEjected(r, c)
+					if (pd == nil) != (pe == nil) {
+						return fmt.Errorf("cycle %d: ejection queues (%d,%d) diverge: dense=%v event=%v", cyc, r, c, pd != nil, pe != nil)
+					}
+					if pd == nil {
+						break
+					}
+					if pd.ID != pe.ID || pd.Dst != pe.Dst || pd.Hops != pe.Hops || pd.EjectedAt != pe.EjectedAt {
+						return fmt.Errorf("cycle %d: ejected packet diverges: dense={id %d dst %d hops %d at %d} event={id %d dst %d hops %d at %d}",
+							cyc, pd.ID, pd.Dst, pd.Hops, pd.EjectedAt, pe.ID, pe.Dst, pe.Hops, pe.EjectedAt)
+					}
+				}
+			}
+		}
+		if cyc%16 == 0 {
+			if err := de.CheckInvariants(); err != nil {
+				return fmt.Errorf("cycle %d: dense: %w", cyc, err)
+			}
+			if err := ev.CheckInvariants(); err != nil {
+				return fmt.Errorf("cycle %d: event: %w", cyc, err)
+			}
+			if err := compareBuffers(de, ev); err != nil {
+				return fmt.Errorf("cycle %d: %w", cyc, err)
+			}
+		}
+		// Once injection has stopped, exercise idle fast-forward: jump
+		// the event network over a window its wheel proves empty while
+		// the dense network steps through it cycle by cycle. Both must
+		// land in the same state (the window really had no work).
+		if cyc >= horizon/2 && cyc%37 == 3 && !ev.Frozen() {
+			if u := ev.NextWorkCycle(); u > ev.Cycle()+1 {
+				w := u - ev.Cycle() - 1
+				if rem := horizon - 1 - cyc; w > rem {
+					w = rem
+				}
+				if w > 0 {
+					ev.SkipIdle(w)
+					for i := int64(0); i < w; i++ {
+						de.Step()
+					}
+					cyc += w
+					if err := compareBuffers(de, ev); err != nil {
+						return fmt.Errorf("cycle %d: after %d-cycle fast-forward: %w", cyc, w, err)
+					}
+				}
+			}
+		}
+	}
+	if !reflect.DeepEqual(de.Counters, ev.Counters) {
+		return fmt.Errorf("counters diverge:\ndense: %+v\nevent: %+v", de.Counters, ev.Counters)
+	}
+	// Equal stream position means every arbitration drew the same number
+	// of values in the same order; probe one draw from each.
+	if d, e := de.rng.Uint64(), ev.rng.Uint64(); d != e {
+		return fmt.Errorf("rng streams diverge after run: dense=%#x event=%#x", d, e)
+	}
+	return nil
+}
+
+// rotateBoth applies the same drain rotation to both networks and
+// requires them to agree on its outcome.
+func rotateBoth(de, ev *Network, next []int) error {
+	repD, errD := de.DrainRotate(next)
+	repE, errE := ev.DrainRotate(next)
+	if (errD == nil) != (errE == nil) {
+		return fmt.Errorf("drain rotate diverges: dense err=%v event err=%v", errD, errE)
+	}
+	if errD != nil {
+		return fmt.Errorf("drain rotate: %w", errD)
+	}
+	if repD != repE {
+		return fmt.Errorf("drain rotate reports diverge: dense=%+v event=%+v", repD, repE)
+	}
+	return nil
+}
+
+// compareBuffers requires both networks to hold the same packets in the
+// same VC slots with the same occupancy bookkeeping.
+func compareBuffers(de, ev *Network) error {
+	id := func(s *vcSlot) int64 {
+		if s.pkt == nil {
+			return -1
+		}
+		return s.pkt.ID
+	}
+	for l := range de.linkVC {
+		for s := range de.linkVC[l] {
+			if d, e := id(&de.linkVC[l][s]), id(&ev.linkVC[l][s]); d != e {
+				return fmt.Errorf("linkVC[%d][%d] diverges: dense packet %d, event packet %d", l, s, d, e)
+			}
+		}
+	}
+	for r := range de.localVC {
+		for s := range de.localVC[r] {
+			if d, e := id(&de.localVC[r][s]), id(&ev.localVC[r][s]); d != e {
+				return fmt.Errorf("localVC[%d][%d] diverges: dense packet %d, event packet %d", r, s, d, e)
+			}
+		}
+		for c := range de.injQ[r] {
+			if d, e := de.injQ[r][c].Len(), ev.injQ[r][c].Len(); d != e {
+				return fmt.Errorf("injection queue (%d,%d) diverges: dense len %d, event len %d", r, c, d, e)
+			}
+		}
+	}
+	if !reflect.DeepEqual(de.occIn, ev.occIn) {
+		return fmt.Errorf("occIn diverges: dense=%v event=%v", de.occIn, ev.occIn)
+	}
+	if !reflect.DeepEqual(de.occLink, ev.occLink) || !reflect.DeepEqual(de.occLocal, ev.occLocal) {
+		return fmt.Errorf("per-port occupancy diverges")
+	}
+	return nil
+}
+
+func TestDenseVsEventUnderRandomConfigs(t *testing.T) {
+	f := func(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) bool {
+		err := checkDenseVsEvent(seed, nRaw, vnRaw, vcRaw, escRaw)
+		if err != nil && !errors.Is(err, errSkip) {
+			t.Logf("seed=%d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzDenseVsEvent is the native-fuzzing entry to the engine
+// byte-identity property (CI runs it for a short smoke window; run
+// locally with `go test -fuzz=FuzzDenseVsEvent ./internal/noc`).
+func FuzzDenseVsEvent(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(0xd1ce), uint8(7), uint8(1), uint8(2), uint8(1))
+	f.Add(uint64(99), uint8(11), uint8(0), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) {
+		if err := checkDenseVsEvent(seed, nRaw, vnRaw, vcRaw, escRaw); err != nil && !errors.Is(err, errSkip) {
+			t.Fatal(err)
+		}
+	})
+}

@@ -49,13 +49,21 @@ func (n *Network) CheckInvariants() error {
 			}
 		}
 	}
-	for _, f := range n.inflights {
+	var flightErr error
+	n.eng.eachFlight(func(f *flight) {
+		if flightErr != nil {
+			return
+		}
 		if !f.pkt.sending {
-			return fmt.Errorf("noc: in-flight packet %d not marked sending", f.pkt.ID)
+			flightErr = fmt.Errorf("noc: in-flight packet %d not marked sending", f.pkt.ID)
+			return
 		}
 		if !f.eject && !n.linkVC[f.toLink][f.toSlot].reserved {
-			return fmt.Errorf("noc: in-flight packet %d target slot not reserved", f.pkt.ID)
+			flightErr = fmt.Errorf("noc: in-flight packet %d target slot not reserved", f.pkt.ID)
 		}
+	})
+	if flightErr != nil {
+		return flightErr
 	}
 	// The incremental active-router occupancy counts must agree with a
 	// full recount (allocate() relies on them to skip idle routers).
@@ -77,5 +85,42 @@ func (n *Network) CheckInvariants() error {
 			return fmt.Errorf("noc: router %d occupancy count %d, recount %d", r, n.occIn[r], count)
 		}
 	}
-	return nil
+	// Per-port occupancy counts (request gathering skips empty ports).
+	for l := 0; l < n.g.NumLinks(); l++ {
+		count := int32(0)
+		for s := range n.linkVC[l] {
+			if n.linkVC[l][s].pkt != nil {
+				count++
+			}
+		}
+		if n.occLink[l] != count {
+			return fmt.Errorf("noc: link %d port occupancy %d, recount %d", l, n.occLink[l], count)
+		}
+	}
+	for r := 0; r < n.g.N(); r++ {
+		count := int32(0)
+		for s := range n.localVC[r] {
+			if n.localVC[r][s].pkt != nil {
+				count++
+			}
+		}
+		if n.occLocal[r] != count {
+			return fmt.Errorf("noc: router %d local port occupancy %d, recount %d", r, n.occLocal[r], count)
+		}
+	}
+	// The incremental non-empty-injection-queue count must agree with a
+	// full recount (injectFromQueues relies on it to skip empty cycles).
+	injCount := 0
+	for r := 0; r < n.g.N(); r++ {
+		for c := range n.injQ[r] {
+			if n.injQ[r][c].Len() > 0 {
+				injCount++
+			}
+		}
+	}
+	if n.injPending != injCount {
+		return fmt.Errorf("noc: injPending %d, recount %d", n.injPending, injCount)
+	}
+	// Engine-internal invariants (timing wheel, activity bitmaps).
+	return n.eng.check(n)
 }

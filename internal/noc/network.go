@@ -41,15 +41,34 @@ type Network struct {
 	cycle  int64
 	frozen bool
 
+	// eng is the cycle-core implementation (event or dense) behind Step;
+	// it owns the in-flight transfer set and, for the event engine, the
+	// activity bitmaps and timing wheel. Network notifies it at every
+	// eligibility-changing point (placed, noteInject, addFlight).
+	eng engine
+
 	vcPerPort int
 	linkVC    [][]vcSlot // [linkID][slot]
 	localVC   [][]vcSlot // [router][slot]
 	linkBusy  []int64    // per link: busy until this cycle (exclusive)
 	ejectBusy []int64    // per router
-	inflights []flight
 
 	injQ [][]pktQueue // [router][class]
 	ejQ  [][]pktQueue
+
+	// injPending counts non-empty (router, class) injection queues so a
+	// cycle with nothing queued skips the router × class scan entirely.
+	injPending int
+
+	// ejDirty/ejDirtyList track routers whose ejection queues received
+	// packets since the last DiscardEjected sweep, so synthetic sinks
+	// drain only routers that actually ejected something.
+	ejDirty     []bool
+	ejDirtyList []int32
+
+	// cyclesPending batches ticks bound for the process-wide simulated-
+	// cycle counter (see cycles.go).
+	cyclesPending int64
 
 	inLinks  [][]int // link IDs ending at each router
 	outLinks [][]int // link IDs starting at each router
@@ -76,6 +95,28 @@ type Network struct {
 	scrReqs []request
 	scrOpts []grant
 	scrWin  []int
+
+	// wantOut[link] == cycle marks output links some request gathered
+	// this cycle could use, letting allocateRouter skip the arbitration
+	// of outputs that would yield zero options (and so draw nothing).
+	// Links belong to exactly one source router, so stamps from routers
+	// sharing a cycle never collide. scrOuts collects the stamped links
+	// of the router currently being allocated, kept sorted ascending so
+	// iterating it visits outputs in exactly outLinks order (link IDs are
+	// dense and outLinks is built in ID order).
+	wantOut []int64
+	scrOuts []int
+	// scrOutsSpill marks that the current router stopped tracking wanted
+	// outputs (too many requests); allocateRouter scans all its outputs.
+	scrOutsSpill bool
+
+	// occLink[l] counts occupied VC buffers at the input port fed by link
+	// l; occLocal[r] counts occupied local (injection-port) VC buffers at
+	// router r. They let request gathering skip empty ports without
+	// scanning their slots. Invariant: occIn[r] equals occLocal[r] plus
+	// the occLink of r's inbound links (checked by CheckInvariants).
+	occLink  []int32
+	occLocal []int32
 }
 
 // New builds a network from cfg (cfg is validated and defaulted).
@@ -107,6 +148,11 @@ func New(cfg Config) (*Network, error) {
 	n.injQ = make([][]pktQueue, g.N())
 	n.ejQ = make([][]pktQueue, g.N())
 	n.occIn = make([]int32, g.N())
+	n.ejDirty = make([]bool, g.N())
+	n.wantOut = make([]int64, g.NumLinks())
+	n.occLink = make([]int32, g.NumLinks())
+	n.occLocal = make([]int32, g.N())
+	n.eng = newEngine(&n.cfg)
 	for r := 0; r < g.N(); r++ {
 		n.localVC[r] = make([]vcSlot, n.vcPerPort)
 		n.injQ[r] = make([]pktQueue, cfg.Classes)
@@ -156,7 +202,29 @@ func (n *Network) Frozen() bool { return n.frozen }
 func (n *Network) SetFrozen(v bool) { n.frozen = v }
 
 // InflightCount returns the number of transfers currently on links.
-func (n *Network) InflightCount() int { return len(n.inflights) }
+func (n *Network) InflightCount() int { return n.eng.inflightCount() }
+
+// Engine returns which cycle-core implementation the network runs on.
+func (n *Network) Engine() EngineKind { return n.cfg.Engine }
+
+// NextWorkCycle returns a lower bound on the next cycle at which
+// stepping the network could have any observable effect. The event
+// engine reports the earliest pending event (math.MaxInt64 when the
+// network is completely empty); the dense engine always reports the
+// next cycle. Drivers combine this with their own horizon (traffic
+// generators, scheme controllers) to fast-forward via SkipIdle.
+func (n *Network) NextWorkCycle() int64 { return n.eng.nextWorkCycle(n) }
+
+// SkipIdle advances the clock k cycles in one jump. The caller must
+// have proven the whole window idle: every cycle skipped must satisfy
+// cycle < NextWorkCycle() and see no injections or external mutations.
+// k <= 0 is a no-op.
+func (n *Network) SkipIdle(k int64) {
+	if k <= 0 {
+		return
+	}
+	n.eng.skipIdle(n, k)
+}
 
 // NewPacket allocates a packet with position/IDs initialized; the caller
 // sets protocol fields and passes it to Inject.
@@ -191,7 +259,12 @@ func (n *Network) Inject(p *Packet) bool {
 	if p.Flits > n.cfg.MaxFlits {
 		panic(fmt.Sprintf("noc: packet of %d flits exceeds MaxFlits %d", p.Flits, n.cfg.MaxFlits))
 	}
-	n.injQ[p.Src][p.Class].Push(p)
+	q := &n.injQ[p.Src][p.Class]
+	if q.Len() == 0 {
+		n.injPending++
+		n.eng.noteInject(n, p.Src)
+	}
+	q.Push(p)
 	n.Counters.Created++
 	return true
 }
@@ -219,6 +292,23 @@ func (n *Network) PopEjected(r, class int) *Packet {
 // PeekEjected returns the oldest ejected packet without removing it.
 func (n *Network) PeekEjected(r, class int) *Packet {
 	return n.ejQ[r][class].Peek()
+}
+
+// DiscardEjected empties every ejection queue, visiting only routers
+// that ejected something since the last sweep. Synthetic-traffic sinks
+// use it in place of a full router × class PopEjected scan; protocol
+// consumers that need the packets keep using PopEjected (a router left
+// dirty after manual pops is a harmless extra visit here).
+func (n *Network) DiscardEjected() {
+	for _, r := range n.ejDirtyList {
+		for c := range n.ejQ[r] {
+			q := &n.ejQ[r][c]
+			for q.Pop() != nil {
+			}
+		}
+		n.ejDirty[r] = false
+	}
+	n.ejDirtyList = n.ejDirtyList[:0]
 }
 
 // OccupiedVCs returns the number of link VC buffers currently holding

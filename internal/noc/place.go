@@ -27,5 +27,7 @@ func (n *Network) PlacePacket(from, to, dst, slot int) (*Packet, error) {
 	}
 	s.pkt = p
 	n.occIn[to]++
+	n.occLink[l]++
+	n.eng.placed(n, to, p.readyAt)
 	return p, nil
 }

@@ -33,7 +33,7 @@ func (n *Network) DrainRotate(next []int) (DrainReport, error) {
 	if !n.frozen {
 		return rep, errors.New("noc: DrainRotate requires a frozen network")
 	}
-	if len(n.inflights) > 0 {
+	if n.eng.inflightCount() > 0 {
 		return rep, ErrNotQuiesced
 	}
 	if len(next) != n.g.NumLinks() {
@@ -51,6 +51,7 @@ func (n *Network) DrainRotate(next []int) (DrainReport, error) {
 			target := n.g.Link(d)
 			oldRouter := p.atRouter
 			n.occIn[oldRouter]--
+			n.occLink[l]--
 			p.Hops++
 			p.DrainHops++
 			n.Counters.Hops++
@@ -62,20 +63,17 @@ func (n *Network) DrainRotate(next []int) (DrainReport, error) {
 				n.Counters.Misroutes++
 			}
 			if p.Dst == target.To && n.ejectSpace(target.To, p.Class) {
-				p.EjectedAt = n.cycle
-				n.ejQ[target.To][p.Class].Push(p)
-				n.Counters.Ejected++
-				if n.OnEject != nil {
-					n.OnEject(p)
-				}
+				n.pushEject(target.To, p)
 				rep.Ejected++
 				continue
 			}
 			n.occIn[target.To]++
+			n.occLink[d]++
 			p.atRouter = target.To
 			p.inLink = d
 			p.slot = slot
 			p.readyAt = n.cycle + int64(n.cfg.RouterLatency)
+			n.eng.placed(n, target.To, p.readyAt)
 			// A forced turn invalidates any up*/down* phase bookkeeping;
 			// DRAIN's escape VC is unrestricted so the phase restarts.
 			p.DownPhase = false
@@ -146,6 +144,7 @@ func (n *Network) RotateBlockedCycle(refs []VCRef) error {
 		p.inLink = nxt.Link
 		p.slot = nxt.Slot
 		p.readyAt = n.cycle + int64(n.cfg.RouterLatency)
+		n.eng.placed(n, target.To, p.readyAt)
 		p.Hops++
 		p.SpinHops++
 		p.DownPhase = false

@@ -56,28 +56,13 @@ type grant struct {
 // Step advances the network by one cycle: completes arrivals, performs
 // switch/VC allocation (unless frozen), and moves injection-queue heads
 // into free local VCs. The caller consumes ejection queues afterwards.
+// The cycle body is dispatched through the configured engine (event or
+// dense); both drive the same mutation paths below and are byte-
+// identical — see DESIGN.md §"Event-driven core".
 func (n *Network) Step() {
 	n.cycle++
-	n.completeFlights()
-	if n.frozen {
-		n.Counters.FrozenCyc++
-		return
-	}
-	n.allocate()
-	n.injectFromQueues()
-}
-
-// completeFlights lands transfers whose serialization finished.
-func (n *Network) completeFlights() {
-	out := n.inflights[:0]
-	for _, f := range n.inflights {
-		if f.doneAt > n.cycle {
-			out = append(out, f)
-			continue
-		}
-		n.land(f)
-	}
-	n.inflights = out
+	n.noteCycles(1)
+	n.eng.step(n)
 }
 
 // land applies the effects of a completed transfer.
@@ -86,22 +71,23 @@ func (n *Network) land(f flight) {
 	// Free the upstream buffer.
 	n.slotOf(p.inLink, p.atRouter, p.slot).pkt = nil
 	n.occIn[p.atRouter]--
+	if p.inLink == LocalPort {
+		n.occLocal[p.atRouter]--
+	} else {
+		n.occLink[p.inLink]--
+	}
 	n.Counters.BufReads += int64(p.Flits)
 	p.sending = false
 
 	if f.eject {
-		p.EjectedAt = n.cycle
-		n.ejQ[f.toRouter][p.Class].Push(p)
-		n.Counters.Ejected++
-		if n.OnEject != nil {
-			n.OnEject(p)
-		}
+		n.pushEject(f.toRouter, p)
 		return
 	}
 	dst := &n.linkVC[f.toLink][f.toSlot]
 	dst.reserved = false
 	dst.pkt = p
 	n.occIn[f.toRouter]++
+	n.occLink[f.toLink]++
 	p.atRouter = f.toRouter
 	p.inLink = f.toLink
 	p.slot = f.toSlot
@@ -119,6 +105,21 @@ func (n *Network) land(f flight) {
 	n.Counters.LinkFlits += int64(p.Flits)
 	n.Counters.BufWrites += int64(p.Flits)
 	n.Counters.noteVNActivity(p.VNet, f.toRouter, n.cycle, int64(p.Flits))
+	n.eng.placed(n, f.toRouter, p.readyAt)
+}
+
+// pushEject delivers p to its destination's ejection queue.
+func (n *Network) pushEject(router int, p *Packet) {
+	p.EjectedAt = n.cycle
+	n.ejQ[router][p.Class].Push(p)
+	if !n.ejDirty[router] {
+		n.ejDirty[router] = true
+		n.ejDirtyList = append(n.ejDirtyList, int32(router))
+	}
+	n.Counters.Ejected++
+	if n.OnEject != nil {
+		n.OnEject(p)
+	}
 }
 
 // slotOf resolves an input VC slot (link or local port).
@@ -142,105 +143,177 @@ func (n *Network) allocate() {
 }
 
 // allocateRouter arbitrates router r's output ports among its input VCs.
-func (n *Network) allocateRouter(r int) {
-	reqs := n.gatherRequests(r)
+// It returns how many input VC heads were eligible to move this cycle
+// (whether or not they produced a routable request) and how many were
+// granted an output; the event engine clears r's activity bit only when
+// the two are equal, so a head that is blocked, loses arbitration, or
+// is merely waiting to become stalled-enough to deroute keeps the
+// router in the active set.
+func (n *Network) allocateRouter(r int) (eligible, granted int) {
+	reqs, eligible := n.gatherRequests(r)
 	if len(reqs) == 0 {
-		return
+		return eligible, 0
 	}
 	// Eject port first (it frees VCs fastest and models priority to
-	// sinking traffic), then each output link.
+	// sinking traffic), then each output link. Outputs no gathered
+	// request can use are skipped: their arbitration would build zero
+	// options and draw no randomness, so the skip is unobservable.
 	if n.ejectBusy[r] <= n.cycle {
-		n.arbitrateEject(r, reqs)
+		granted += n.arbitrateEject(r, reqs)
 	}
-	for _, out := range n.outLinks[r] {
+	outs := n.scrOuts
+	if n.scrOutsSpill {
+		// Heavily loaded router: the wanted-output set is incomplete, so
+		// arbitrate every output. Unwanted outputs yield zero options and
+		// draw nothing, and both slices ascend by link ID, so the grant
+		// and draw sequence is identical either way.
+		outs = n.outLinks[r]
+	}
+	for _, out := range outs {
 		if n.linkBusy[out] > n.cycle {
 			continue
 		}
-		n.arbitrateLink(r, out, reqs)
+		granted += n.arbitrateLink(r, out, reqs)
 	}
+	return eligible, granted
 }
 
 // gatherRequests lists input VCs of r with a head packet eligible to move
-// this cycle, along with the outputs each may use.
-func (n *Network) gatherRequests(r int) []request {
+// this cycle, along with the outputs each may use. The second result
+// counts every eligible head, including those dropped for having no
+// routing candidates right now (deroute/escape eligibility can appear
+// with the passage of time alone, so such heads must keep the router
+// active).
+func (n *Network) gatherRequests(r int) ([]request, int) {
+	eligible := 0
 	reqs := n.scrReqs[:0]
-	consider := func(inLink int, slots []vcSlot) {
-		for s := range slots {
-			p := slots[s].pkt
-			if p == nil || p.sending || p.readyAt > n.cycle {
-				continue
-			}
-			req := request{pkt: p, inLink: inLink, slot: s}
-			if p.Dst == r {
-				req.wantEj = true
-				reqs = append(reqs, req)
-				continue
-			}
-			// A long-stalled packet on an unrestricted (adaptive) routing
-			// function may deroute over any output, including U-turns.
-			stalled := n.cfg.DerouteAfter > 0 && n.cycle-p.readyAt >= int64(n.cfg.DerouteAfter)
-			// Routing candidates. Escape discipline (paper §III-A):
-			// a packet in an escape VC may only continue on escape VCs
-			// under EscapeRouting; others may use either. The candidate
-			// slices are the routing table's shared read-only sets.
-			if n.cfg.PolicyEscape {
-				escapeReady := p.InEscape ||
-					n.cfg.EscapeAfter <= 0 ||
-					n.cycle-p.readyAt >= int64(n.cfg.EscapeAfter)
-				if !p.InEscape {
-					req.mainOuts = n.routeCands(n.cfg.Routing, r, p.Dst, p.DownPhase, stalled)
-				}
-				// Phase for escape routing: a packet entering the escape
-				// network starts its up*/down* walk fresh.
-				escPhase := p.DownPhase
-				if !p.InEscape {
-					escPhase = false
-				}
-				if escapeReady {
-					req.escOuts = n.routeCands(n.cfg.EscapeRouting, r, p.Dst, escPhase, stalled)
-				}
-			} else {
-				req.mainOuts = n.routeCands(n.cfg.Routing, r, p.Dst, p.DownPhase, stalled)
-			}
-			if len(req.mainOuts) > 0 || len(req.escOuts) > 0 {
-				reqs = append(reqs, req)
-			}
-		}
-	}
+	n.scrOuts = n.scrOuts[:0]
+	n.scrOutsSpill = false
 	for _, l := range n.inLinks[r] {
-		consider(l, n.linkVC[l])
+		if n.occLink[l] == 0 {
+			continue
+		}
+		reqs, eligible = n.considerVCs(r, l, n.linkVC[l], reqs, eligible)
 	}
-	consider(LocalPort, n.localVC[r])
+	if n.occLocal[r] != 0 {
+		reqs, eligible = n.considerVCs(r, LocalPort, n.localVC[r], reqs, eligible)
+	}
 	n.scrReqs = reqs
-	return reqs
+	return reqs, eligible
 }
 
-// arbitrateEject grants the eject port to one destination packet.
-func (n *Network) arbitrateEject(r int, reqs []request) {
+// considerVCs appends requests for the eligible heads among one input
+// port's VC slots and stamps n.wantOut for every output the appended
+// requests could use (see allocateRouter).
+func (n *Network) considerVCs(r, inLink int, slots []vcSlot, reqs []request, eligible int) ([]request, int) {
+	for s := range slots {
+		p := slots[s].pkt
+		if p == nil || p.sending || p.readyAt > n.cycle {
+			continue
+		}
+		eligible++
+		req := request{pkt: p, inLink: inLink, slot: s}
+		if p.Dst == r {
+			req.wantEj = true
+			reqs = append(reqs, req)
+			continue
+		}
+		// A long-stalled packet on an unrestricted (adaptive) routing
+		// function may deroute over any output, including U-turns.
+		stalled := n.cfg.DerouteAfter > 0 && n.cycle-p.readyAt >= int64(n.cfg.DerouteAfter)
+		// Routing candidates. Escape discipline (paper §III-A):
+		// a packet in an escape VC may only continue on escape VCs
+		// under EscapeRouting; others may use either. The candidate
+		// slices are the routing table's shared read-only sets.
+		if n.cfg.PolicyEscape {
+			escapeReady := p.InEscape ||
+				n.cfg.EscapeAfter <= 0 ||
+				n.cycle-p.readyAt >= int64(n.cfg.EscapeAfter)
+			if !p.InEscape {
+				req.mainOuts = n.routeCands(n.cfg.Routing, r, p.Dst, p.DownPhase, stalled)
+			}
+			// Phase for escape routing: a packet entering the escape
+			// network starts its up*/down* walk fresh.
+			escPhase := p.DownPhase
+			if !p.InEscape {
+				escPhase = false
+			}
+			if escapeReady {
+				req.escOuts = n.routeCands(n.cfg.EscapeRouting, r, p.Dst, escPhase, stalled)
+			}
+		} else {
+			req.mainOuts = n.routeCands(n.cfg.Routing, r, p.Dst, p.DownPhase, stalled)
+		}
+		if len(req.mainOuts) > 0 || len(req.escOuts) > 0 {
+			// Track which outputs are wanted only while the router is
+			// lightly loaded: with this many requests essentially every
+			// output is wanted, so allocateRouter scans them all instead
+			// and the per-candidate stamping would be pure overhead.
+			if len(reqs) < wantOutMaxReqs {
+				for _, c := range req.mainOuts {
+					n.noteWantOut(c.LinkID)
+				}
+				for _, c := range req.escOuts {
+					n.noteWantOut(c.LinkID)
+				}
+			} else {
+				n.scrOutsSpill = true
+			}
+			reqs = append(reqs, req)
+		}
+	}
+	return reqs, eligible
+}
+
+// wantOutMaxReqs bounds the request count up to which gathering tracks
+// the wanted-output set (see considerVCs).
+const wantOutMaxReqs = 4
+
+// noteWantOut records output link `out` as wanted by some request of the
+// router currently gathering, keeping scrOuts sorted ascending (= the
+// outLinks iteration order the dense allocator used, so arbitration and
+// its RNG draws happen in the identical output order).
+func (n *Network) noteWantOut(out int) {
+	if n.wantOut[out] == n.cycle {
+		return
+	}
+	n.wantOut[out] = n.cycle
+	outs := append(n.scrOuts, out)
+	for j := len(outs) - 1; j > 0 && outs[j-1] > out; j-- {
+		outs[j], outs[j-1] = outs[j-1], outs[j]
+	}
+	n.scrOuts = outs
+}
+
+// arbitrateEject grants the eject port to one destination packet,
+// returning the number of grants made (0 or 1).
+func (n *Network) arbitrateEject(r int, reqs []request) int {
 	winners := n.scrWin[:0]
-	for i, req := range reqs {
+	for i := range reqs {
+		req := &reqs[i]
 		if req.wantEj && !req.pkt.sending && n.ejectSpace(r, req.pkt.Class) {
 			winners = append(winners, i)
 		}
 	}
 	n.scrWin = winners
 	if len(winners) == 0 {
-		return
+		return 0
 	}
-	w := reqs[winners[n.rng.IntN(len(winners))]]
-	p := w.pkt
+	p := reqs[winners[n.rng.IntN(len(winners))]].pkt
 	p.sending = true
 	n.ejectBusy[r] = n.cycle + int64(p.Flits)
-	n.inflights = append(n.inflights, flight{
+	n.eng.addFlight(n, flight{
 		pkt: p, doneAt: n.cycle + int64(p.Flits), eject: true, toLink: -1, toRouter: r,
 	})
 	n.Counters.SWAllocs++
 	n.Counters.XbarFlits += int64(p.Flits)
 	n.Counters.noteVNActivity(p.VNet, r, n.cycle, int64(p.Flits))
+	return 1
 }
 
-// arbitrateLink grants output link `out` of router r to one input VC.
-func (n *Network) arbitrateLink(r, out int, reqs []request) {
+// arbitrateLink grants output link `out` of router r to one input VC,
+// returning the number of grants made (0 or 1).
+func (n *Network) arbitrateLink(r, out int, reqs []request) int {
 	options := n.scrOpts[:0]
 	for i := range reqs {
 		req := &reqs[i]
@@ -302,7 +375,7 @@ func (n *Network) arbitrateLink(r, out int, reqs []request) {
 	}
 	n.scrOpts = options
 	if len(options) == 0 {
-		return
+		return 0
 	}
 	// Prefer productive grants: deroutes only win an output no minimal
 	// packet wants, keeping misrouting a last resort. The filter runs
@@ -330,7 +403,7 @@ func (n *Network) arbitrateLink(r, out int, reqs []request) {
 	n.linkBusy[out] = n.cycle + int64(p.Flits)
 	dst := &n.linkVC[out][g.toSlot]
 	dst.reserved = true
-	n.inflights = append(n.inflights, flight{
+	n.eng.addFlight(n, flight{
 		pkt:        p,
 		doneAt:     n.cycle + int64(p.Flits),
 		toLink:     out,
@@ -343,6 +416,7 @@ func (n *Network) arbitrateLink(r, out int, reqs []request) {
 	n.Counters.SWAllocs++
 	n.Counters.VCAllocs++
 	n.Counters.XbarFlits += int64(p.Flits)
+	return 1
 }
 
 // routeCands returns the shared read-only candidate set for a packet at
@@ -421,36 +495,59 @@ func (n *Network) freeDownstreamSlot(out, vn int, escape bool) (int, bool) {
 	return 0, false
 }
 
-// injectFromQueues moves injection-queue heads into free local VCs.
+// injectFromQueues moves injection-queue heads into free local VCs. The
+// injPending count of non-empty queues lets whole cycles skip the
+// router × class scan when nothing is waiting.
 func (n *Network) injectFromQueues() {
-	for r := 0; r < n.g.N(); r++ {
-		for class := 0; class < n.cfg.Classes; class++ {
-			q := &n.injQ[r][class]
-			p := q.Peek()
-			if p == nil {
-				continue
-			}
-			slot, escape, ok := n.freeLocalSlot(r, p.VNet)
-			if !ok {
-				continue
-			}
-			q.Pop()
-			lv := &n.localVC[r][slot]
-			lv.pkt = p
-			n.occIn[r]++
-			p.atRouter = r
-			p.inLink = LocalPort
-			p.slot = slot
-			p.InjectedAt = n.cycle
-			p.readyAt = n.cycle + int64(n.cfg.RouterLatency)
-			if escape && !n.cfg.NonStickyEscape {
-				p.InEscape = true
-			}
-			n.Counters.Injected++
-			n.Counters.BufWrites += int64(p.Flits)
-			n.Counters.noteVNActivity(p.VNet, r, n.cycle, int64(p.Flits))
-		}
+	if n.injPending == 0 {
+		return
 	}
+	for r := 0; r < n.g.N(); r++ {
+		n.injectRouterQueues(r)
+	}
+}
+
+// injectRouterQueues attempts to move each of router r's injection-queue
+// heads into a free local VC, reporting whether any queue at r is still
+// non-empty afterwards. Injection draws no randomness, so both engines
+// can call it on any superset of the routers with queued packets.
+func (n *Network) injectRouterQueues(r int) bool {
+	pending := false
+	for class := 0; class < n.cfg.Classes; class++ {
+		q := &n.injQ[r][class]
+		p := q.Peek()
+		if p == nil {
+			continue
+		}
+		slot, escape, ok := n.freeLocalSlot(r, p.VNet)
+		if !ok {
+			pending = true
+			continue
+		}
+		q.Pop()
+		if q.Len() == 0 {
+			n.injPending--
+		} else {
+			pending = true
+		}
+		lv := &n.localVC[r][slot]
+		lv.pkt = p
+		n.occIn[r]++
+		n.occLocal[r]++
+		p.atRouter = r
+		p.inLink = LocalPort
+		p.slot = slot
+		p.InjectedAt = n.cycle
+		p.readyAt = n.cycle + int64(n.cfg.RouterLatency)
+		if escape && !n.cfg.NonStickyEscape {
+			p.InEscape = true
+		}
+		n.Counters.Injected++
+		n.Counters.BufWrites += int64(p.Flits)
+		n.Counters.noteVNActivity(p.VNet, r, n.cycle, int64(p.Flits))
+		n.eng.placed(n, r, p.readyAt)
+	}
+	return pending
 }
 
 // freeLocalSlot picks a free local VC in vn, preferring non-escape slots.

@@ -51,6 +51,8 @@ func plantPacket(t *testing.T, n *Network, from, to, dst, slot int) *Packet {
 	}
 	n.linkVC[l][slot].pkt = p
 	n.occIn[to]++
+	n.occLink[l]++
+	n.eng.placed(n, to, p.readyAt)
 	return p
 }
 

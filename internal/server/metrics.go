@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"drain/internal/noc"
 	"drain/internal/stats"
 )
 
@@ -29,6 +30,12 @@ type serverMetrics struct {
 
 	mu      sync.Mutex
 	latency stats.Sample // milliseconds
+
+	// lastScrape/lastCycles remember the previous /metrics scrape so the
+	// cycles-per-second gauge reports the rate over the scrape interval
+	// (first scrape falls back to the process-lifetime average).
+	lastScrape time.Time
+	lastCycles int64
 }
 
 // observe records one finished job.
@@ -80,6 +87,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "drainserved_cache_hits %d\n", hits)
 	fmt.Fprintf(w, "drainserved_cache_misses %d\n", misses)
 	fmt.Fprintf(w, "drainserved_cache_entries %d\n", entries)
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(w, "drainserved_cache_hit_rate %.4f\n", hitRate)
+	cycles := noc.SimulatedCycles()
+	m.mu.Lock()
+	now := time.Now()
+	rate := 0.0
+	switch {
+	case !m.lastScrape.IsZero() && now.After(m.lastScrape) && cycles >= m.lastCycles:
+		rate = float64(cycles-m.lastCycles) / now.Sub(m.lastScrape).Seconds()
+	case s.uptime() > 0:
+		rate = float64(cycles) / s.uptime().Seconds()
+	}
+	m.lastScrape, m.lastCycles = now, cycles
+	m.mu.Unlock()
+	fmt.Fprintf(w, "drainserved_sim_cycles_total %d\n", cycles)
+	fmt.Fprintf(w, "drainserved_sim_cycles_per_second %.0f\n", rate)
 	fmt.Fprintf(w, "drainserved_job_latency_ms_count %d\n", count)
 	fmt.Fprintf(w, "drainserved_job_latency_ms_p50 %d\n", p50)
 	fmt.Fprintf(w, "drainserved_job_latency_ms_p99 %d\n", p99)

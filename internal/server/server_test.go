@@ -263,6 +263,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"drainserved_cache_hits 1",
 		"drainserved_cache_misses 1",
 		"drainserved_cache_entries 1",
+		"drainserved_cache_hit_rate 0.5000",
+		"drainserved_sim_cycles_total ",
+		"drainserved_sim_cycles_per_second ",
 		"drainserved_job_latency_ms_count 1",
 		"drainserved_job_latency_ms_p50 ",
 		"drainserved_job_latency_ms_p99 ",
@@ -278,9 +281,9 @@ func TestBadRequestsRejected(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
 	for _, body := range []string{
-		`{`,                       // malformed JSON
-		`{"figs":"fig6"}`,         // unknown field
-		`{"fig":"fig999"}`,        // unknown figure
+		`{`,                             // malformed JSON
+		`{"figs":"fig6"}`,               // unknown field
+		`{"fig":"fig999"}`,              // unknown figure
 		`{"kind":"sweep","width":1000}`, // out-of-range mesh
 	} {
 		resp, data := postJob(t, ts.URL, body)

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"drain/internal/noc"
+	"drain/internal/traffic"
+)
+
+// TestEngineDifferential locks the engine seam at the simulation level:
+// for every scheme, load point and fault pattern, a run on the event
+// core must reproduce the dense stepper's SyntheticResult exactly —
+// every counter, every latency float, bit for bit. This is the
+// driver-level complement of noc.FuzzDenseVsEvent (which exercises the
+// engines under adversarial topologies and rotation timing).
+func TestEngineDifferential(t *testing.T) {
+	schemes := []Scheme{SchemeDRAIN, SchemeSPIN, SchemeEscapeVC, SchemeNone}
+	rates := []float64{0.02, 0.45}
+	faults := []int{0, 3}
+	for _, scheme := range schemes {
+		for _, rate := range rates {
+			for _, nf := range faults {
+				name := fmt.Sprintf("%s/rate%.2f/faults%d", scheme, rate, nf)
+				t.Run(name, func(t *testing.T) {
+					run := func(eng noc.EngineKind) SyntheticResult {
+						r, err := Build(Params{
+							Width: 4, Height: 4,
+							Faults: nf, FaultSeed: 11,
+							Scheme: scheme,
+							Epoch:  256, SpinTimeout: 128,
+							Seed:   7,
+							Engine: eng,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, rate, 200, 2000)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return res
+					}
+					dense := run(noc.EngineDense)
+					event := run(noc.EngineEvent)
+					if !reflect.DeepEqual(dense, event) {
+						t.Errorf("results diverge:\ndense: %+v\nevent: %+v", dense, event)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRunnerReuseAcrossRuns pins the driver's clock-space handling on a
+// reused runner: the second run starts at a nonzero absolute network
+// cycle, so the fast-forward window arithmetic must convert the
+// engine's absolute hints into the loop's relative counter (a bug here
+// once made a reused dense runner compute a bogus skippable window and
+// panic in SkipIdle). Both engines must survive reuse and agree on the
+// second run's results.
+func TestRunnerReuseAcrossRuns(t *testing.T) {
+	second := func(eng noc.EngineKind) SyntheticResult {
+		r, err := Build(Params{
+			Width: 4, Height: 4,
+			Scheme: SchemeDRAIN, Epoch: 256,
+			Seed:   3,
+			Engine: eng,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, 0.05, 0, 500); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, 0.05, 0, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dense := second(noc.EngineDense)
+	event := second(noc.EngineEvent)
+	if !reflect.DeepEqual(dense, event) {
+		t.Errorf("reused-runner results diverge:\ndense: %+v\nevent: %+v", dense, event)
+	}
+}

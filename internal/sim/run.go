@@ -79,8 +79,13 @@ func (r *Runner) RunSyntheticContext(ctx context.Context, pattern traffic.Patter
 	defer func() { r.Net.OnEject = nil }()
 
 	total := warmup + measure
+	watch := r.Params.Scheme == SchemeNone
 	lastEject := int64(0)
 	suspect := false
+	// base converts between the network's absolute clock and this run's
+	// iteration counter: iteration cyc steps the clock from base+cyc to
+	// base+cyc+1. It is nonzero when the runner is reused for a second run.
+	base := r.Net.Cycle()
 	for cyc := int64(0); cyc < total; cyc++ {
 		if !r.Net.Frozen() {
 			gen.Tick(r.Net)
@@ -94,14 +99,10 @@ func (r *Runner) RunSyntheticContext(ctx context.Context, pattern traffic.Patter
 		if cyc == warmup {
 			measuring = true
 		}
-		// Sink: consume every ejection queue.
-		for n := 0; n < r.Graph.N(); n++ {
-			for c := 0; c < r.Net.Config().Classes; c++ {
-				for p := r.Net.PopEjected(n, c); p != nil; p = r.Net.PopEjected(n, c) {
-				}
-			}
-		}
-		if r.Params.Scheme == SchemeNone && cyc%512 == 511 {
+		// Sink: consume every ejection queue (stats were already taken by
+		// OnEject as the packets landed).
+		r.Net.DiscardEjected()
+		if watch && cyc%512 == 511 {
 			if r.Net.Counters.Ejected == lastEject && r.Net.HasDeadlock(noc.LivenessOpts{}) {
 				if suspect {
 					res.Deadlocked = true
@@ -113,6 +114,42 @@ func (r *Runner) RunSyntheticContext(ctx context.Context, pattern traffic.Patter
 				suspect = false
 			}
 			lastEject = r.Net.Counters.Ejected
+		}
+		// Idle fast-forward: when network, scheme and generator all prove
+		// a window of do-nothing iterations, jump over it in one go. An
+		// iteration j steps the clock from j to j+1 (firing cycle j+1's
+		// events) and ticks the scheme at j+1, so the first iteration that
+		// may matter is (earliest interesting cycle) - 1. The window is
+		// further capped so that the warmup flip, every StepContext
+		// cancellation poll (the bounded-cancel contract), and every
+		// deadlock-watch sweep still execute on their exact cycles.
+		if !r.Net.Frozen() {
+			// NextWorkCycle hints are absolute network cycles; -base maps
+			// them onto the iteration counter.
+			u := min(r.Net.NextWorkCycle(), r.nextSchemeWorkCycle()) - base - 1
+			if u > total {
+				u = total
+			}
+			if cyc < warmup && warmup < u {
+				u = warmup
+			}
+			// StepContext polls ctx when the absolute clock is a multiple of
+			// CancelCheckEvery, so the boundary is computed absolutely too.
+			if pb := (base+cyc+noc.CancelCheckEvery)&^(noc.CancelCheckEvery-1) - base; pb < u {
+				u = pb
+			}
+			if watch {
+				if wb := (cyc + 1) | 511; wb < u {
+					u = wb
+				}
+			}
+			if w := u - (cyc + 1); w > 0 {
+				// The generator may stop short at the first cycle in which
+				// some node's rate draw fires; stepping resumes there.
+				skipped := gen.SkipQuiet(r.Graph.N(), w)
+				r.Net.SkipIdle(skipped)
+				cyc += skipped
+			}
 		}
 	}
 	res.Cycles = r.Net.Cycle()

@@ -7,6 +7,7 @@ package sim
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand/v2"
 
 	"drain/internal/coherence"
@@ -146,6 +147,11 @@ type Params struct {
 	// parallelism, which raises network pressure).
 	MSHRs int
 
+	// Engine selects the noc cycle-core implementation (zero value:
+	// event-driven; see noc.Config.Engine). Results are byte-identical
+	// across engines, so this only affects speed.
+	Engine noc.EngineKind
+
 	Seed uint64
 }
 
@@ -246,6 +252,7 @@ func BuildOn(g *topology.Graph, mesh *topology.Mesh, p Params) (*Runner, error) 
 		EjectCap:     p.EjectCap,
 		DerouteAfter: p.DerouteAfter,
 		Seed:         p.Seed,
+		Engine:       p.Engine,
 	}
 	switch p.Scheme {
 	case SchemeNone, SchemeIdeal, SchemeSPIN:
@@ -326,6 +333,22 @@ func (r *Runner) TickScheme() error {
 		return r.Oracle.Tick()
 	}
 	return nil
+}
+
+// nextSchemeWorkCycle returns the next cycle at which the scheme's
+// controller could do anything observable (math.MaxInt64 when no
+// controller is wired). Together with noc.Network.NextWorkCycle it
+// bounds the idle fast-forward windows in RunSyntheticContext.
+func (r *Runner) nextSchemeWorkCycle() int64 {
+	switch {
+	case r.Drain != nil:
+		return r.Drain.NextWorkCycle()
+	case r.Spin != nil:
+		return r.Spin.NextWorkCycle()
+	case r.Oracle != nil:
+		return r.Oracle.NextWorkCycle()
+	}
+	return math.MaxInt64
 }
 
 // PortsPerRouter returns the mean router port count (links + local) for

@@ -6,6 +6,7 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"drain/internal/noc"
@@ -168,6 +169,23 @@ type Generator struct {
 	InjQueueCap int
 
 	rng *rand.Rand
+	// src is the concrete PCG behind rng: the per-node rate draws call it
+	// directly, skipping rng's Source interface dispatch while consuming
+	// the identical stream (rng.Uint64() == src.Uint64(), same object).
+	src *rand.PCG
+
+	// rateThresh caches Rate as an integer threshold on the raw 53-bit
+	// draw: u&mask53 < rateThresh is exactly rng.Float64() < Rate (see
+	// refreshThresh). rateCached detects Rate being reassigned.
+	rateThresh uint64
+	rateCached float64
+
+	// pendingSrc/hasPending memoize a mid-cycle stop inside SkipQuiet:
+	// the node whose rate draw passed, whose injection draws have not
+	// happened yet. The next Tick resumes from exactly that point, so
+	// the RNG sequence matches a generator ticked every cycle.
+	pendingSrc int
+	hasPending bool
 
 	// Created counts generation attempts that were actually injected.
 	Created int64
@@ -177,39 +195,118 @@ type Generator struct {
 
 // NewGenerator returns a generator seeded deterministically.
 func NewGenerator(p Pattern, rate float64, seed uint64) *Generator {
+	src := rand.NewPCG(seed, seed^0xa5a5a5a55a5a5a5a)
 	return &Generator{
 		Pattern:      p,
 		Rate:         rate,
 		CtrlFraction: 0.5,
 		DataFlits:    5,
 		InjQueueCap:  8,
-		rng:          rand.New(rand.NewPCG(seed, seed^0xa5a5a5a55a5a5a5a)),
+		rng:          rand.New(src),
+		src:          src,
 	}
 }
 
-// Tick injects this cycle's packets into the network.
+// mask53 extracts the 53 bits rand/v2's Float64 keeps of each Uint64
+// draw: Float64() == float64(u<<11>>11) / (1<<53).
+const mask53 = 1<<53 - 1
+
+// refreshThresh recomputes the integer rate threshold. The per-node rate
+// draw `rng.Float64() < Rate` is, by rand/v2's construction, exactly
+// `float64(u&mask53)/2^53 < Rate` for one Uint64 draw u. Both sides are
+// exact binary rationals (x := u&mask53 < 2^53 converts exactly, dividing
+// by 2^53 only shifts the exponent, and Rate*2^53 likewise just shifts
+// Rate's exponent), so the comparison equals the real-number comparison
+// x < Rate*2^53, i.e. x < ceil(Rate*2^53). Comparing the raw draw against
+// that integer threshold therefore consumes the identical RNG stream and
+// fires on exactly the same cycles, while skipping the float conversion
+// in the all-nodes-quiet common case.
+func (g *Generator) refreshThresh() {
+	t := g.Rate * (1 << 53)
+	switch {
+	case t <= 0:
+		g.rateThresh = 0
+	case t >= 1<<53:
+		g.rateThresh = 1 << 53 // every draw fires
+	default:
+		g.rateThresh = uint64(math.Ceil(t))
+	}
+	g.rateCached = g.Rate
+}
+
+// Tick injects this cycle's packets into the network. If the previous
+// call was a SkipQuiet that stopped mid-cycle, Tick first completes that
+// cycle's pending injection and continues from the following node, so
+// the draw sequence is exactly that of a generator ticked every cycle.
 func (g *Generator) Tick(n *noc.Network) {
+	if g.Rate != g.rateCached {
+		g.refreshThresh()
+	}
 	nodes := n.Graph().N()
-	for src := 0; src < nodes; src++ {
-		if g.rng.Float64() >= g.Rate {
+	src := 0
+	if g.hasPending {
+		g.hasPending = false
+		g.emit(n, g.pendingSrc)
+		src = g.pendingSrc + 1
+	}
+	for ; src < nodes; src++ {
+		if g.src.Uint64()&mask53 >= g.rateThresh {
 			continue
 		}
-		if g.InjQueueCap > 0 && n.InjQueueLen(src, g.Class) >= g.InjQueueCap {
-			g.Skipped++
-			continue
-		}
-		dst := g.Pattern.Dest(src, g.rng)
-		if dst == src {
-			continue
-		}
-		flits := 1
-		if g.rng.Float64() >= g.CtrlFraction {
-			flits = g.DataFlits
-		}
-		if n.Inject(n.NewPacket(src, dst, g.Class, flits)) {
-			g.Created++
-		} else {
-			g.Skipped++
+		g.emit(n, src)
+	}
+}
+
+// emit performs the injection-side draws and effects for a node whose
+// rate draw passed (the draw/effect order here is load-bearing for
+// determinism: queue-cap check, destination draw, self-test, size draw,
+// inject).
+func (g *Generator) emit(n *noc.Network, src int) {
+	if g.InjQueueCap > 0 && n.InjQueueLen(src, g.Class) >= g.InjQueueCap {
+		g.Skipped++
+		return
+	}
+	dst := g.Pattern.Dest(src, g.rng)
+	if dst == src {
+		return
+	}
+	flits := 1
+	if g.rng.Float64() >= g.CtrlFraction {
+		flits = g.DataFlits
+	}
+	if n.Inject(n.NewPacket(src, dst, g.Class, flits)) {
+		g.Created++
+	} else {
+		g.Skipped++
+	}
+}
+
+// SkipQuiet fast-forwards the generator over up to max cycles in which
+// no node injects, drawing exactly the per-cycle rate draws a ticked
+// generator would have drawn. It returns the number of fully quiet
+// cycles k (0 ≤ k ≤ max): the caller may skip k network cycles; if
+// k < max, cycle k is not quiet and the caller must resume per-cycle
+// stepping there — the next Tick finishes that cycle's draws from the
+// memoized stop point. Callers use this during provably idle windows
+// (see noc.Network.NextWorkCycle); a generator with a pending injection
+// never skips.
+//
+//drain:hotpath idle fast-forward companion to Network.SkipIdle
+func (g *Generator) SkipQuiet(nodes int, max int64) int64 {
+	if g.hasPending || max <= 0 {
+		return 0
+	}
+	if g.Rate != g.rateCached {
+		g.refreshThresh()
+	}
+	for k := int64(0); k < max; k++ {
+		for src := 0; src < nodes; src++ {
+			if g.src.Uint64()&mask53 < g.rateThresh {
+				g.pendingSrc = src
+				g.hasPending = true
+				return k
+			}
 		}
 	}
+	return max
 }
