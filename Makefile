@@ -27,17 +27,23 @@ test-race:
 test-allocs:
 	$(GO) test -run 'TestStepAllocs|TestGoldenCounters' -count=1 . ./internal/sim
 
-## bench: run the hot-path benchmarks, keeping the raw benchstat-
-## compatible text in BENCH_noc.txt and a machine-readable summary
-## (ns/cycle, cycles/sec, allocs, event-vs-dense speedups per load
-## point) in BENCH_noc.json. Feed BENCH_noc.txt files from two builds
-## to benchstat for A/B comparisons; the event/dense sub-benchmarks
-## give a same-binary comparison immune to machine drift.
+## bench: run the hot-path benchmarks (BenchmarkStep's event/dense load
+## points plus BenchmarkStepSharded's shards=N scaling on the 64x64
+## mesh), keeping the raw benchstat-compatible text in BENCH_noc.txt and
+## appending a machine-readable entry (ns/cycle, cycles/sec, allocs,
+## event-vs-dense and shards-vs-serial speedups) to the history array in
+## BENCH_noc.json, keyed by git SHA + date — prior runs are kept, and
+## re-benching the same commit replaces its entry. Feed BENCH_noc.txt
+## files from two builds to benchstat for A/B comparisons; the
+## event/dense sub-benchmarks give a same-binary comparison immune to
+## machine drift.
 bench:
 	$(GO) test -bench=BenchmarkStep -benchmem -run=^$$ -count=1 . | tee BENCH_noc.txt
 	$(GO) run ./cmd/benchjson -out BENCH_noc.json \
+		-sha "$$(git rev-parse --short HEAD)$$(git diff --quiet HEAD -- . ':!BENCH_noc.json' ':!BENCH_noc.txt' || echo -dirty)" \
+		-date "$$(date -u +%F)" \
 		-note "event-vs-dense speedups are same-binary, same-run ratios of BenchmarkStep's engine sub-benchmarks (see DESIGN.md 'Event-driven core' for the measurement protocol)" \
-		-note "interleaved pre/post comparison of the full fig11 low-load experiment measured ~1.7x wall-clock for the event core, with fig10 saturation within the 5% regression budget; larger factors are bounded by exact RNG-sequence preservation (64 generator draws/cycle floor), see DESIGN.md" \
+		-note "shards-vs-serial speedups compare BenchmarkStepSharded's parallel-engine shard counts against shards=1 on the same binary; they depend on available CPUs (see DESIGN.md 'Sharded parallel engine')" \
 		< BENCH_noc.txt
 
 ## bench-all: every benchmark, including the full experiment

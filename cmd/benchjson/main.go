@@ -1,10 +1,18 @@
 // Command benchjson converts `go test -bench` output (benchstat-
 // compatible text, read from stdin) into a machine-readable JSON
-// summary. For every benchmark it records the iteration count and each
+// history. For every benchmark it records the iteration count and each
 // reported metric (ns/op, ns/cycle, cycles/sec, B/op, allocs/op, ...);
-// for BenchmarkStep's load-point sub-benchmarks it additionally pairs
-// the event- and dense-engine variants and computes the event-core
-// speedup at each load point. `make bench` pipes through it to produce
+// for BenchmarkStep's load-point sub-benchmarks it pairs the event- and
+// dense-engine variants and computes the event-core speedup at each
+// load point, and for BenchmarkStepSharded's shards=N variants it
+// computes each shard count's speedup over the serial shards=1 run.
+//
+// The output document is an append-only `history` array keyed by git
+// SHA + date: if -out already exists, the new entry is appended (or
+// replaces an existing entry with the same SHA, so re-running a bench
+// at one commit is idempotent) instead of discarding prior runs.
+// Pre-history documents (a bare entry at top level) are folded in as
+// the first history element. `make bench` pipes through it to produce
 // BENCH_noc.json.
 package main
 
@@ -15,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -35,11 +44,29 @@ type Comparison struct {
 	Speedup float64 `json:"speedup"`
 }
 
-// Output is the BENCH_noc.json document.
+// ShardPoint is one shard count of a sharded-step benchmark group.
+type ShardPoint struct {
+	Shards     int     `json:"shards"`
+	NsPerCycle float64 `json:"ns_per_cycle"`
+	// SpeedupVsSerial is the shards=1 wall-clock per simulated cycle
+	// divided by this point's: >1 means the sharded run is faster.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// Entry is one benchmark run, keyed by the commit it measured.
+type Entry struct {
+	SHA             string                  `json:"sha,omitempty"`
+	Date            string                  `json:"date,omitempty"`
+	Benchmarks      []Benchmark             `json:"benchmarks"`
+	EventVsDense    map[string]Comparison   `json:"event_vs_dense,omitempty"`
+	ParallelScaling map[string][]ShardPoint `json:"parallel_scaling,omitempty"`
+	Notes           []string                `json:"notes,omitempty"`
+}
+
+// Output is the BENCH_noc.json document: every recorded run, oldest
+// first.
 type Output struct {
-	Benchmarks   []Benchmark           `json:"benchmarks"`
-	EventVsDense map[string]Comparison `json:"event_vs_dense,omitempty"`
-	Notes        []string              `json:"notes,omitempty"`
+	History []Entry `json:"history"`
 }
 
 type noteList []string
@@ -49,16 +76,32 @@ func (n *noteList) Set(s string) error { *n = append(*n, s); return nil }
 
 func main() {
 	var notes noteList
-	flag.Var(&notes, "note", "free-text note to embed in the output (repeatable)")
-	out := flag.String("out", "", "output file (default stdout)")
+	flag.Var(&notes, "note", "free-text note to embed in the new entry (repeatable)")
+	out := flag.String("out", "", "output file (default stdout); an existing history there is kept and appended to")
+	sha := flag.String("sha", "", "git commit the run measured (history key)")
+	date := flag.String("date", "", "run date, YYYY-MM-DD")
 	flag.Parse()
 
-	doc, err := parse(os.Stdin)
+	entry, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	doc.Notes = notes
+	entry.SHA = *sha
+	entry.Date = *date
+	entry.Notes = notes
+
+	var prev []byte
+	if *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			prev = data
+		}
+	}
+	doc, err := merge(prev, *entry)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -78,14 +121,45 @@ func main() {
 	}
 }
 
+// merge appends entry to the history found in prev (the prior contents
+// of the output file; nil or empty means none). A pre-history document
+// — a bare entry at top level, as benchjson wrote before the history
+// format — becomes the first element. An existing entry with the same
+// SHA is replaced in place so re-benching one commit never duplicates.
+func merge(prev []byte, entry Entry) (*Output, error) {
+	doc := &Output{}
+	if len(prev) > 0 {
+		if err := json.Unmarshal(prev, doc); err != nil {
+			return nil, fmt.Errorf("existing output file: %w", err)
+		}
+		if doc.History == nil {
+			var legacy Entry
+			if err := json.Unmarshal(prev, &legacy); err != nil {
+				return nil, fmt.Errorf("existing output file: %w", err)
+			}
+			if legacy.Benchmarks != nil {
+				doc.History = []Entry{legacy}
+			}
+		}
+	}
+	for i := range doc.History {
+		if entry.SHA != "" && doc.History[i].SHA == entry.SHA {
+			doc.History[i] = entry
+			return doc, nil
+		}
+	}
+	doc.History = append(doc.History, entry)
+	return doc, nil
+}
+
 // parse reads benchstat-compatible benchmark text: lines of the form
 //
 //	BenchmarkName-8  <iters>  <value> <unit>  <value> <unit> ...
 //
 // Non-benchmark lines (goos/goarch headers, PASS/ok trailers) pass
 // through unparsed.
-func parse(r io.Reader) (*Output, error) {
-	doc := &Output{}
+func parse(r io.Reader) (*Entry, error) {
+	e := &Entry{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		f := strings.Fields(sc.Text())
@@ -110,13 +184,14 @@ func parse(r io.Reader) (*Output, error) {
 			}
 			b.Metrics[f[i+1]] = v
 		}
-		doc.Benchmarks = append(doc.Benchmarks, b)
+		e.Benchmarks = append(e.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	doc.EventVsDense = compare(doc.Benchmarks)
-	return doc, nil
+	e.EventVsDense = compare(e.Benchmarks)
+	e.ParallelScaling = compareShards(e.Benchmarks)
+	return e, nil
 }
 
 // compare pairs ".../event" and ".../dense" variants that share a
@@ -156,6 +231,50 @@ func compare(bs []Benchmark) map[string]Comparison {
 			EventNsPerCycle: p.event,
 			Speedup:         p.dense / p.event,
 		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// compareShards groups ".../shards=N" variants by parent name and
+// computes each shard count's speedup over that parent's shards=1 run.
+// Groups without a shards=1 baseline are dropped.
+func compareShards(bs []Benchmark) map[string][]ShardPoint {
+	groups := map[string][]ShardPoint{}
+	for _, b := range bs {
+		i := strings.LastIndexByte(b.Name, '/')
+		if i < 0 || !strings.HasPrefix(b.Name[i+1:], "shards=") {
+			continue
+		}
+		n, err := strconv.Atoi(b.Name[i+1+len("shards="):])
+		if err != nil || n <= 0 {
+			continue
+		}
+		v, ok := b.Metrics["ns/cycle"]
+		if !ok || v <= 0 {
+			continue
+		}
+		parent := b.Name[:i]
+		groups[parent] = append(groups[parent], ShardPoint{Shards: n, NsPerCycle: v})
+	}
+	out := map[string][]ShardPoint{}
+	for parent, pts := range groups {
+		var serial float64
+		for _, p := range pts {
+			if p.Shards == 1 {
+				serial = p.NsPerCycle
+			}
+		}
+		if serial <= 0 {
+			continue
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Shards < pts[j].Shards })
+		for i := range pts {
+			pts[i].SpeedupVsSerial = serial / pts[i].NsPerCycle
+		}
+		out[parent] = pts
 	}
 	if len(out) == 0 {
 		return nil

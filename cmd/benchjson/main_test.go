@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -56,6 +57,39 @@ func TestParse(t *testing.T) {
 		// must reflect it rather than clamp.
 		t.Errorf("Saturation speedup = %v, want <1", sat.Speedup)
 	}
+	if doc.ParallelScaling != nil {
+		t.Errorf("no shards=N variants, yet ParallelScaling = %v", doc.ParallelScaling)
+	}
+}
+
+const shardedSample = `BenchmarkStepSharded/MidLoad/shards=1-8 	       1	 9000000000 ns/op	  22500000 ns/cycle	        44 cycles/sec
+BenchmarkStepSharded/MidLoad/shards=2-8 	       1	 8000000000 ns/op	  20000000 ns/cycle	        50 cycles/sec
+BenchmarkStepSharded/MidLoad/shards=8-8 	       1	12000000000 ns/op	  30000000 ns/cycle	        33 cycles/sec
+BenchmarkStepSharded/NoBase/shards=4-8  	       1	 1000000000 ns/op	   2500000 ns/cycle	       400 cycles/sec
+PASS
+`
+
+func TestParseShardScaling(t *testing.T) {
+	doc, err := parse(strings.NewReader(shardedSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.ParallelScaling) != 1 {
+		t.Fatalf("ParallelScaling groups = %v, want only the group with a shards=1 baseline", doc.ParallelScaling)
+	}
+	pts := doc.ParallelScaling["BenchmarkStepSharded/MidLoad"]
+	if len(pts) != 3 {
+		t.Fatalf("MidLoad points = %+v, want 3", pts)
+	}
+	for i, want := range []ShardPoint{
+		{Shards: 1, NsPerCycle: 22500000, SpeedupVsSerial: 1},
+		{Shards: 2, NsPerCycle: 20000000, SpeedupVsSerial: 1.125},
+		{Shards: 8, NsPerCycle: 30000000, SpeedupVsSerial: 0.75},
+	} {
+		if pts[i] != want {
+			t.Errorf("point %d = %+v, want %+v", i, pts[i], want)
+		}
+	}
 }
 
 func TestParseIgnoresGarbage(t *testing.T) {
@@ -65,5 +99,62 @@ func TestParseIgnoresGarbage(t *testing.T) {
 	}
 	if len(doc.Benchmarks) != 0 || doc.EventVsDense != nil {
 		t.Fatalf("garbage parsed into %+v", doc)
+	}
+}
+
+// merge must append new SHAs, replace re-runs of the same SHA in
+// place, and fold a pre-history document (bare entry at top level)
+// into history[0].
+func TestMergeHistory(t *testing.T) {
+	e1 := Entry{SHA: "aaa", Date: "2026-08-01", Benchmarks: []Benchmark{{Name: "B1", Iterations: 1}}}
+	doc, err := merge(nil, e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.History) != 1 || doc.History[0].SHA != "aaa" {
+		t.Fatalf("fresh merge = %+v", doc)
+	}
+
+	prev, _ := json.Marshal(doc)
+	e2 := Entry{SHA: "bbb", Date: "2026-08-07", Benchmarks: []Benchmark{{Name: "B2", Iterations: 2}}}
+	doc, err = merge(prev, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.History) != 2 || doc.History[0].SHA != "aaa" || doc.History[1].SHA != "bbb" {
+		t.Fatalf("append merge = %+v", doc)
+	}
+
+	prev, _ = json.Marshal(doc)
+	e2b := Entry{SHA: "bbb", Date: "2026-08-08", Benchmarks: []Benchmark{{Name: "B2", Iterations: 3}}}
+	doc, err = merge(prev, e2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.History) != 2 || doc.History[1].Date != "2026-08-08" || doc.History[1].Benchmarks[0].Iterations != 3 {
+		t.Fatalf("same-SHA merge did not replace: %+v", doc)
+	}
+}
+
+func TestMergeFoldsLegacyDocument(t *testing.T) {
+	legacy := `{"benchmarks":[{"name":"BenchmarkStep/LowLoad/event","iterations":100,"metrics":{"ns/cycle":2074}}],"notes":["old run"]}`
+	doc, err := merge([]byte(legacy), Entry{SHA: "ccc", Benchmarks: []Benchmark{{Name: "B3"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.History) != 2 {
+		t.Fatalf("history = %+v, want legacy + new", doc.History)
+	}
+	if doc.History[0].SHA != "" || len(doc.History[0].Benchmarks) != 1 || doc.History[0].Notes[0] != "old run" {
+		t.Fatalf("legacy fold = %+v", doc.History[0])
+	}
+	if doc.History[1].SHA != "ccc" {
+		t.Fatalf("new entry = %+v", doc.History[1])
+	}
+}
+
+func TestMergeRejectsCorruptPrev(t *testing.T) {
+	if _, err := merge([]byte("{not json"), Entry{}); err == nil {
+		t.Fatal("corrupt previous file accepted")
 	}
 }

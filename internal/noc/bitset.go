@@ -1,5 +1,7 @@
 package noc
 
+import "math/bits"
+
 // bitset is a fixed-size set of small integers (router IDs) with O(1)
 // set/clear and ascending-order iteration via bits.TrailingZeros64 at
 // the use sites (the iteration is inlined in the event engine's step so
@@ -33,4 +35,13 @@ func (b *bitset) any() bool {
 		}
 	}
 	return false
+}
+
+// count returns the number of elements in the set.
+func (b *bitset) count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
 }

@@ -14,12 +14,23 @@ const (
 	// injection queues. Kept behind the engine seam as the differential
 	// oracle for the event core (see FuzzDenseVsEvent).
 	EngineDense
+	// EngineParallel is the sharded cycle core: routers are partitioned
+	// into Config.Shards contiguous shards and each cycle's phases
+	// (arrival, allocation planning, injection) run on a fixed worker
+	// pool with per-phase barriers, while every randomized decision
+	// commits serially in ascending router order. Byte-identical to the
+	// other engines for every shard count — see DESIGN.md §"Sharded
+	// parallel engine".
+	EngineParallel
 )
 
 // String implements fmt.Stringer (benchmark sub-names use it).
 func (k EngineKind) String() string {
-	if k == EngineDense {
+	switch k {
+	case EngineDense:
 		return "dense"
+	case EngineParallel:
+		return "parallel"
 	}
 	return "event"
 }
@@ -67,12 +78,19 @@ type engine interface {
 	// check validates engine-internal invariants against a full scan of
 	// the network state (tests only).
 	check(n *Network) error
+	// stop releases engine-owned resources (the parallel engine's worker
+	// goroutines); idempotent, no-op for the other engines. A stopped
+	// parallel engine keeps working through its inline serial path.
+	stop()
 }
 
 // newEngine constructs the engine selected by cfg.Engine.
 func newEngine(cfg *Config) engine {
-	if cfg.Engine == EngineDense {
+	switch cfg.Engine {
+	case EngineDense:
 		return &denseEngine{}
+	case EngineParallel:
+		return newParallelEngine(cfg)
 	}
 	return newEventEngine(cfg)
 }

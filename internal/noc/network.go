@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 
 	"drain/internal/routing"
 	"drain/internal/topology"
@@ -91,8 +92,12 @@ type Network struct {
 	Counters Counters
 
 	// scratch buffers reused across cycles (steady-state Step performs
-	// no heap allocation; see BenchmarkStepAllocs)
-	scrReqs []request
+	// no heap allocation; see BenchmarkStepAllocs). gs is the serial
+	// request-gathering scratch; the parallel engine's plan workers own
+	// one gatherScratch each instead. scrOpts/scrWin serve the serial
+	// arbitration paths only (the parallel engine plans into per-shard
+	// arenas and commits from them).
+	gs      gatherScratch
 	scrOpts []grant
 	scrWin  []int
 
@@ -100,15 +105,8 @@ type Network struct {
 	// this cycle could use, letting allocateRouter skip the arbitration
 	// of outputs that would yield zero options (and so draw nothing).
 	// Links belong to exactly one source router, so stamps from routers
-	// sharing a cycle never collide. scrOuts collects the stamped links
-	// of the router currently being allocated, kept sorted ascending so
-	// iterating it visits outputs in exactly outLinks order (link IDs are
-	// dense and outLinks is built in ID order).
+	// sharing a cycle never collide (see noteWantOut).
 	wantOut []int64
-	scrOuts []int
-	// scrOutsSpill marks that the current router stopped tracking wanted
-	// outputs (too many requests); allocateRouter scans all its outputs.
-	scrOutsSpill bool
 
 	// occLink[l] counts occupied VC buffers at the input port fed by link
 	// l; occLocal[r] counts occupied local (injection-port) VC buffers at
@@ -124,9 +122,13 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	tab, err := routing.NewTable(cfg.Graph, cfg.Mesh)
-	if err != nil {
-		return nil, err
+	tab := cfg.Table
+	if tab == nil {
+		var err error
+		tab, err = routing.NewTable(cfg.Graph, cfg.Mesh)
+		if err != nil {
+			return nil, err
+		}
 	}
 	g := cfg.Graph
 	n := &Network{
@@ -178,7 +180,23 @@ func New(cfg Config) (*Network, error) {
 		}
 		n.Counters.vnRouterLastActive[vn] = row
 	}
+	if cfg.Engine == EngineParallel {
+		// Safety net for leaked networks (e.g. the per-rate runners of a
+		// load sweep): the worker goroutines do not retain the Network, so
+		// an unreachable Network is collectable, and the finalizer stops
+		// its pool. Explicit Close remains the deterministic path.
+		runtime.SetFinalizer(n, (*Network).Close)
+	}
 	return n, nil
+}
+
+// Close releases resources owned by the cycle engine — for the parallel
+// engine, its worker goroutines. Idempotent, and a no-op for the event
+// and dense engines. The network remains usable afterwards: a stopped
+// parallel engine steps through its inline serial path, still
+// byte-identical.
+func (n *Network) Close() {
+	n.eng.stop()
 }
 
 // Config returns the network's (validated) configuration.

@@ -1,0 +1,730 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// parallelEngine is the sharded cycle core: routers are partitioned into
+// K contiguous shards and each cycle's read-dominated phases run on a
+// fixed worker pool with per-phase barriers, while every randomized
+// decision (arbitration draws) commits serially in ascending router
+// order on the stepping goroutine. The result is byte-identical to the
+// dense and event engines for every K — same RNG draw sequence, same
+// counters, same buffers — which the three-way lockstep oracle
+// (FuzzDenseVsEvent) and sim.TestParallelEngineDifferential prove.
+//
+// Why identity holds (DESIGN.md §"Sharded parallel engine" has the full
+// argument):
+//
+//   - Arbitration draws are inherently serial: the option set of a later
+//     output at a router depends on earlier same-router winners via
+//     p.sending, and the *number* of draws depends on outcomes. So draws
+//     and their commits stay on one goroutine, in the dense scan order
+//     (ascending router, eject port first, then outputs ascending).
+//   - Everything else a cycle does is either partitioned by owner
+//     (arrival effects by destination router, injection by router,
+//     wake/alloc bits by router) or stable across the phase (routing
+//     candidates, downstream free-slot state — each output link is
+//     granted at most once per cycle and belongs to one source router),
+//     so it parallelizes without changing any observable.
+//   - The two cross-shard flows — upstream buffer releases of landing
+//     flights, and counter deltas — go through per-shard staging drained
+//     in ascending shard order, and all merged quantities are
+//     order-independent sums or owner-exclusive writes.
+//   - The one cross-router read during allocation, the single-VC bubble
+//     rule (routerFreeInVN of the *target* router), is planned as
+//     conditional options (grant.cond) and resolved at commit time, at
+//     exactly the point the serial order evaluates it.
+//
+// Ejections are pushed serially in flight order so ejection-queue
+// order, ejDirtyList order and OnEject callback order (float summation
+// in the stats collectors!) match the serial engines. One observable
+// difference remains: OnEject fires after the whole arrival phase
+// rather than interleaved with it. The in-repo callbacks only read the
+// packet, so nothing in the repo can tell.
+type parallelEngine struct {
+	nShards int
+
+	// Timing wheel over future events, sized exactly like the event
+	// engine's. Flights are appended only from serial contexts (the
+	// commit phase), so the wheel is global; wakes are per shard.
+	size    int64
+	mask    int64
+	maxOff  int64
+	flights [][]flight
+	count   int
+
+	shardOf []int32 // router -> owning shard
+	shards  []parShard
+
+	// inlineBelow: cycles whose active-work estimate is below this run
+	// serially on the stepping goroutine (identical results, no barrier
+	// overhead). 0 after construction means "never inline".
+	inlineBelow int
+
+	// Worker pool: worker i processes shard i+1; shard 0 runs on the
+	// stepping goroutine between kickoff and wg.Wait. curNet/curPhase
+	// are published before the kickoff sends and read after the
+	// receives; wg orders all shard writes before the next phase.
+	curNet   *Network
+	curPhase int
+	start    []chan struct{}
+	wg       sync.WaitGroup
+	quit     chan struct{}
+	quitOnce sync.Once
+	stopped  bool
+	bound    bool
+}
+
+// Parallel phase identifiers (curPhase).
+const (
+	phaseLandArrive = iota // apply arrival effects, stage upstream frees
+	phaseLandFree          // drain staged upstream frees in shard order
+	phasePlan              // gather requests, build option lists
+	phaseInject            // move injection-queue heads into local VCs
+)
+
+// defaultParallelInline is the active-work threshold below which a cycle
+// runs inline; chosen so a saturated 8x8 stays inline (barriers would
+// dominate) while a loaded 64x64 runs phased.
+const defaultParallelInline = 96
+
+// upFree is a staged upstream buffer release: the position a landing
+// packet departed from, captured before the arrival side overwrites the
+// packet's position fields. Addressed to the shard owning the upstream
+// router.
+type upFree struct {
+	pkt    *Packet
+	inLink int32 // LocalPort or link ID
+	router int32
+	slot   int32
+	flits  int32
+}
+
+// routerPlan is one router's planned allocation work: index ranges into
+// the owning shard's request/winner/output arenas.
+type routerPlan struct {
+	router       int32
+	eligible     int32
+	winLo, winHi int32 // eject winner indices in parShard.wins
+	reqLo, reqHi int32 // requests in parShard.reqs
+	outLo, outHi int32 // planned outputs in parShard.outs
+}
+
+// plannedOut is one output link with at least one planned option.
+type plannedOut struct {
+	link         int32
+	optLo, optHi int32 // options in parShard.opts
+}
+
+// parShard is the per-shard state: the shard's slice of the activity
+// bitmaps and wake wheel, its staging buffers, and its plan arenas. The
+// bitsets span the full router domain (only bits in [lo,hi) are ever
+// set), so no two shards share a word and ascending iteration over
+// shards 0..K-1 visits routers in global ascending order.
+type parShard struct {
+	lo, hi int
+	alloc  bitset
+	inj    bitset
+	wakes  [][]int32
+
+	// upOut[dst] stages upstream frees this shard's arrivals owe to
+	// shard dst; dst drains them in ascending source-shard order.
+	upOut [][]upFree
+
+	ctr      Counters // staged counter delta (vnRouterLastActive aliased)
+	injDelta int      // queues drained to empty this cycle
+
+	// plan arenas, reset each phased cycle
+	gs    gatherScratch
+	plans []routerPlan
+	reqs  []request
+	wins  []int
+	outs  []plannedOut
+	opts  []grant
+}
+
+// newParallelEngine builds the engine and spawns its K-1 workers
+// (shard 0 runs on the stepping goroutine). Construction is the cold
+// path: everything the hot phases append to is a reusable arena.
+func newParallelEngine(cfg *Config) *parallelEngine {
+	nRouters := cfg.Graph.N()
+	k := cfg.Shards
+	if k <= 0 {
+		k = 1
+	}
+	if k > nRouters {
+		k = nRouters
+	}
+	maxOff := int64(cfg.MaxFlits)
+	if int64(cfg.RouterLatency) > maxOff {
+		maxOff = int64(cfg.RouterLatency)
+	}
+	size := int64(1)
+	for size <= maxOff {
+		size <<= 1
+	}
+	e := &parallelEngine{
+		nShards: k,
+		size:    size,
+		mask:    size - 1,
+		maxOff:  maxOff,
+		flights: make([][]flight, size),
+		shardOf: make([]int32, nRouters),
+		shards:  make([]parShard, k),
+		quit:    make(chan struct{}),
+	}
+	e.inlineBelow = cfg.ParallelInline
+	if e.inlineBelow == 0 {
+		e.inlineBelow = defaultParallelInline
+	} else if e.inlineBelow < 0 {
+		e.inlineBelow = 0
+	}
+	for s := range e.shards {
+		sh := &e.shards[s]
+		sh.lo = s * nRouters / k
+		sh.hi = (s + 1) * nRouters / k
+		for r := sh.lo; r < sh.hi; r++ {
+			e.shardOf[r] = int32(s)
+		}
+		sh.alloc = newBitset(nRouters)
+		sh.inj = newBitset(nRouters)
+		sh.wakes = make([][]int32, size)
+		sh.upOut = make([][]upFree, k)
+	}
+	e.start = make([]chan struct{}, k-1)
+	for i := range e.start {
+		e.start[i] = make(chan struct{}, 1)
+		go e.worker(i + 1)
+	}
+	return e
+}
+
+// bind lazily wires the per-shard counter deltas to the network's
+// authoritative VN-activity table (not yet allocated when newEngine
+// runs). Pure assignments after the first cycle's allocation.
+func (e *parallelEngine) bind(n *Network) {
+	for s := range e.shards {
+		e.shards[s].ctr = n.Counters.newShardDelta(n.cfg.VNets)
+	}
+	e.bound = true
+}
+
+// worker is the persistent loop of one pool goroutine: wait for a phase
+// kickoff, run this shard's share, signal the barrier.
+//
+//drain:hotpath parallel-phase worker body; spawned once at construction and dispatched per phase through channels (dynamic edges are not followed)
+func (e *parallelEngine) worker(s int) {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-e.start[s-1]:
+		}
+		e.runShardPhase(e.curNet, e.curPhase, s)
+		e.wg.Done()
+	}
+}
+
+func (e *parallelEngine) runShardPhase(n *Network, phase, s int) {
+	switch phase {
+	case phaseLandArrive:
+		e.landArrivals(n, s)
+	case phaseLandFree:
+		e.applyUpFrees(n, s)
+	case phasePlan:
+		e.planShard(n, s)
+	case phaseInject:
+		e.injectShard(n, s)
+	}
+}
+
+// runPhase fans one phase across the shards and waits for all of them:
+// workers take shards 1..K-1, the stepping goroutine takes shard 0. The
+// buffered kickoff sends publish curNet/curPhase (channel send
+// happens-before receive); wg.Wait is the barrier ordering every
+// shard's writes before the next phase reads them.
+func (e *parallelEngine) runPhase(n *Network, phase int) {
+	e.curNet, e.curPhase = n, phase
+	e.wg.Add(len(e.start))
+	for _, c := range e.start {
+		c <- struct{}{}
+	}
+	e.runShardPhase(n, phase, 0)
+	e.wg.Wait()
+	e.curNet = nil
+}
+
+// step advances one cycle. Small cycles (and every cycle once stopped)
+// run inline — the event engine's exact algorithm over the per-shard
+// structures; loaded cycles run the phased pipeline. The choice is a
+// pure function of simulation state, and both paths are byte-identical,
+// so interleaving them freely is safe.
+//
+//drain:hotpath parallel-core cycle entry, dispatched from Network.Step through the engine seam (dynamic calls are not followed)
+func (e *parallelEngine) step(n *Network) {
+	if !e.bound {
+		e.bind(n)
+	}
+	slot := n.cycle & e.mask
+	fl := e.flights[slot]
+	work := len(fl)
+	for s := range e.shards {
+		work += e.shards[s].alloc.count() + e.shards[s].inj.count()
+	}
+	if e.stopped || len(e.start) == 0 || work < e.inlineBelow {
+		e.stepInline(n, fl, slot)
+		return
+	}
+	e.stepPhased(n, fl, slot)
+}
+
+// stepInline runs the whole cycle serially on the stepping goroutine:
+// lands in creation order, then allocation and injection over the
+// per-shard bitsets in ascending shard order — which is ascending
+// router order, exactly the dense scan.
+func (e *parallelEngine) stepInline(n *Network, fl []flight, slot int64) {
+	if len(fl) > 0 {
+		e.count -= len(fl)
+		for i := range fl {
+			n.land(fl[i])
+		}
+		e.flights[slot] = fl[:0]
+	}
+	e.fireWakes(slot)
+	if n.frozen {
+		n.Counters.FrozenCyc++
+		return
+	}
+	for s := range e.shards {
+		sh := &e.shards[s]
+		for wi := range sh.alloc.words {
+			w := sh.alloc.words[wi]
+			for w != 0 {
+				bit := bits.TrailingZeros64(w)
+				w &^= 1 << uint(bit)
+				r := wi<<6 + bit
+				eligible, granted := n.allocateRouter(r, &n.gs)
+				if eligible == granted {
+					sh.alloc.words[wi] &^= 1 << uint(bit)
+				}
+			}
+		}
+	}
+	for s := range e.shards {
+		sh := &e.shards[s]
+		for wi := range sh.inj.words {
+			w := sh.inj.words[wi]
+			for w != 0 {
+				bit := bits.TrailingZeros64(w)
+				w &^= 1 << uint(bit)
+				if !n.injectRouterQueues(wi<<6 + bit) {
+					sh.inj.words[wi] &^= 1 << uint(bit)
+				}
+			}
+		}
+	}
+}
+
+// stepPhased runs the cycle as the barrier pipeline: parallel arrivals
+// (staging upstream frees), parallel frees, serial ejection pushes,
+// wakes, parallel planning, serial commit, parallel injection, and a
+// serial reduce of the staged deltas in shard order.
+func (e *parallelEngine) stepPhased(n *Network, fl []flight, slot int64) {
+	if len(fl) > 0 {
+		e.count -= len(fl)
+		e.runPhase(n, phaseLandArrive)
+		e.runPhase(n, phaseLandFree)
+		for i := range fl {
+			if fl[i].eject {
+				n.pushEject(fl[i].toRouter, fl[i].pkt)
+			}
+		}
+		e.flights[slot] = fl[:0]
+	}
+	e.fireWakes(slot)
+	if n.frozen {
+		e.reduce(n)
+		n.Counters.FrozenCyc++
+		return
+	}
+	e.runPhase(n, phasePlan)
+	e.commit(n)
+	e.runPhase(n, phaseInject)
+	e.reduce(n)
+}
+
+// fireWakes re-arms the activity bits of routers whose head matures
+// this cycle. Cheap pure bit work, so it always runs serially.
+func (e *parallelEngine) fireWakes(slot int64) {
+	for s := range e.shards {
+		sh := &e.shards[s]
+		if ws := sh.wakes[slot]; len(ws) > 0 {
+			for _, r := range ws {
+				sh.alloc.set(int(r))
+			}
+			sh.wakes[slot] = ws[:0]
+		}
+	}
+}
+
+// landArrivals (phaseLandArrive, per shard): apply the destination-side
+// effects of every flight landing in this shard, and stage the upstream
+// release — captured from the packet's position fields before
+// landArrive overwrites them — to the shard owning the departed router.
+// Eject flights only stage their release here; the push happens
+// serially after phaseLandFree.
+func (e *parallelEngine) landArrivals(n *Network, s int) {
+	sh := &e.shards[s]
+	fl := e.flights[n.cycle&e.mask]
+	for i := range fl {
+		f := &fl[i]
+		if e.shardOf[f.toRouter] != int32(s) {
+			continue
+		}
+		p := f.pkt
+		dst := e.shardOf[p.atRouter]
+		sh.upOut[dst] = append(sh.upOut[dst], upFree{
+			pkt: p, inLink: int32(p.inLink), router: int32(p.atRouter),
+			slot: int32(p.slot), flits: int32(p.Flits),
+		})
+		if !f.eject {
+			n.landArrive(*f, &sh.ctr)
+		}
+	}
+}
+
+// applyUpFrees (phaseLandFree, per shard): drain the staged releases
+// addressed to this shard, in ascending source-shard order. All touched
+// state (upstream VC slots, occupancy counts) is owned by this shard's
+// routers; BufReads accumulates in the shard delta.
+func (e *parallelEngine) applyUpFrees(n *Network, s int) {
+	sh := &e.shards[s]
+	for i := range e.shards {
+		src := &e.shards[i]
+		cell := src.upOut[s]
+		for j := range cell {
+			u := &cell[j]
+			n.freeUpstream(int(u.inLink), int(u.router), int(u.slot), int64(u.flits), &sh.ctr)
+			u.pkt.sending = false
+		}
+		src.upOut[s] = cell[:0]
+	}
+}
+
+// planShard (phasePlan, per shard): for every active router of the
+// shard, gather requests and precompute what the serial allocator will
+// need — the eligible count, the eject winner list, and per-output
+// option lists (with the bubble rule deferred as conditional options).
+// Reads shared state that is stable for the whole allocation phase;
+// writes only shard-owned arenas, this shard's activity bits, and the
+// per-link wantOut stamps of this shard's own output links.
+func (e *parallelEngine) planShard(n *Network, s int) {
+	sh := &e.shards[s]
+	sh.plans = sh.plans[:0]
+	sh.reqs = sh.reqs[:0]
+	sh.wins = sh.wins[:0]
+	sh.outs = sh.outs[:0]
+	sh.opts = sh.opts[:0]
+	for wi := range sh.alloc.words {
+		w := sh.alloc.words[wi]
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &^= 1 << uint(bit)
+			r := wi<<6 + bit
+			reqs, eligible := n.gatherRequests(r, &sh.gs)
+			if len(reqs) == 0 {
+				if eligible == 0 {
+					// Stale bit: the visit found nothing and would have
+					// drawn no randomness — clear, as the event engine does.
+					sh.alloc.words[wi] &^= 1 << uint(bit)
+				}
+				continue
+			}
+			pl := routerPlan{router: int32(r), eligible: int32(eligible)}
+			pl.reqLo = int32(len(sh.reqs))
+			sh.reqs = append(sh.reqs, reqs...)
+			pl.reqHi = int32(len(sh.reqs))
+			areqs := sh.reqs[pl.reqLo:pl.reqHi]
+			pl.winLo = int32(len(sh.wins))
+			if n.ejectBusy[r] <= n.cycle {
+				sh.wins = n.buildEjectWinners(r, areqs, sh.wins)
+			}
+			pl.winHi = int32(len(sh.wins))
+			pl.outLo = int32(len(sh.outs))
+			outs := sh.gs.outs
+			if sh.gs.spill {
+				outs = n.outLinks[r]
+			}
+			for _, out := range outs {
+				if n.linkBusy[out] > n.cycle {
+					continue
+				}
+				optLo := int32(len(sh.opts))
+				sh.opts = n.buildLinkOptions(out, areqs, sh.opts, true)
+				if int32(len(sh.opts)) > optLo {
+					sh.outs = append(sh.outs, plannedOut{
+						link: int32(out), optLo: optLo, optHi: int32(len(sh.opts)),
+					})
+				}
+			}
+			pl.outHi = int32(len(sh.outs))
+			sh.plans = append(sh.plans, pl)
+		}
+	}
+}
+
+// commit replays the plans serially in ascending shard (= router)
+// order, making every RNG draw in exactly the dense scan's sequence:
+// per router, the eject draw first, then each planned output ascending.
+// Options planned optimistically are filtered the way the serial
+// allocator would have: packets granted an earlier output this cycle
+// (sending) drop out, and conditional bubble options resolve against
+// the now-current target-router state.
+func (e *parallelEngine) commit(n *Network) {
+	for s := range e.shards {
+		sh := &e.shards[s]
+		for pi := range sh.plans {
+			pl := &sh.plans[pi]
+			r := int(pl.router)
+			reqs := sh.reqs[pl.reqLo:pl.reqHi]
+			granted := 0
+			if pl.winHi > pl.winLo {
+				granted += n.commitEject(r, reqs, sh.wins[pl.winLo:pl.winHi])
+			}
+			for oi := pl.outLo; oi < pl.outHi; oi++ {
+				po := &sh.outs[oi]
+				seg := sh.opts[po.optLo:po.optHi]
+				kept := seg[:0]
+				for i := range seg {
+					g := seg[i]
+					if reqs[g.reqIdx].pkt.sending {
+						continue
+					}
+					switch g.cond {
+					case condBubbleOK:
+						if n.routerFreeInVN(int(g.bubbleTo), int(g.bubbleVN)) < 2 {
+							continue
+						}
+					case condBubbleFail:
+						if n.routerFreeInVN(int(g.bubbleTo), int(g.bubbleVN)) >= 2 {
+							continue
+						}
+					}
+					kept = append(kept, g)
+				}
+				granted += n.commitLinkGrant(r, int(po.link), reqs, kept)
+			}
+			if int(pl.eligible) == granted {
+				sh.alloc.clear(r)
+			}
+		}
+	}
+}
+
+// injectShard (phaseInject, per shard): the event engine's injection
+// sweep over this shard's bits. Injection draws no randomness and
+// touches only router-owned state; the injPending and counter deltas
+// stage per shard.
+func (e *parallelEngine) injectShard(n *Network, s int) {
+	sh := &e.shards[s]
+	for wi := range sh.inj.words {
+		w := sh.inj.words[wi]
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &^= 1 << uint(bit)
+			pending, emptied := n.injectRouterQueuesInto(wi<<6+bit, &sh.ctr)
+			sh.injDelta += emptied
+			if !pending {
+				sh.inj.words[wi] &^= 1 << uint(bit)
+			}
+		}
+	}
+}
+
+// reduce folds the staged per-shard deltas into the network in
+// ascending shard order. Sums only, so the result is byte-identical to
+// the serial engines' in-place accumulation.
+func (e *parallelEngine) reduce(n *Network) {
+	for s := range e.shards {
+		sh := &e.shards[s]
+		n.Counters.absorb(&sh.ctr)
+		n.injPending -= sh.injDelta
+		sh.injDelta = 0
+	}
+}
+
+// addFlight schedules a started transfer to land at f.doneAt. Called
+// from serial contexts only (the commit phase and the inline path).
+//
+//drain:hotpath called from arbitration through the engine seam (dynamic calls are not followed)
+func (e *parallelEngine) addFlight(n *Network, f flight) {
+	slot := f.doneAt & e.mask
+	e.flights[slot] = append(e.flights[slot], f)
+	e.count++
+}
+
+// placed arms the owning shard's activity bit, now or at the head's
+// maturation cycle. In parallel phases this is only ever called for
+// routers of the running shard (arrivals and injections are partitioned
+// by destination router), so the per-shard structures never race.
+//
+//drain:hotpath called from land/injection through the engine seam (dynamic calls are not followed)
+func (e *parallelEngine) placed(n *Network, router int, readyAt int64) {
+	sh := &e.shards[e.shardOf[router]]
+	if readyAt <= n.cycle {
+		sh.alloc.set(router)
+		return
+	}
+	slot := readyAt & e.mask
+	sh.wakes[slot] = append(sh.wakes[slot], int32(router))
+}
+
+// noteInject arms the owning shard's injection bit (serial contexts:
+// Network.Inject runs between cycles).
+//
+//drain:hotpath called from Network.Inject through the engine seam (dynamic calls are not followed)
+func (e *parallelEngine) noteInject(_ *Network, router int) {
+	e.shards[e.shardOf[router]].inj.set(router)
+}
+
+// inflightCount returns the number of transfers currently on links.
+func (e *parallelEngine) inflightCount() int { return e.count }
+
+// eachFlight visits every pending transfer.
+func (e *parallelEngine) eachFlight(fn func(f *flight)) {
+	for s := range e.flights {
+		for i := range e.flights[s] {
+			fn(&e.flights[s][i])
+		}
+	}
+}
+
+// nextWorkCycle mirrors the event engine: now+1 while any activity bit
+// is set, otherwise the earliest pending wheel event, otherwise never.
+//
+//drain:hotpath per-iteration driver query, dispatched through the engine seam (dynamic calls are not followed)
+func (e *parallelEngine) nextWorkCycle(n *Network) int64 {
+	for s := range e.shards {
+		if e.shards[s].alloc.any() || e.shards[s].inj.any() {
+			return n.cycle + 1
+		}
+	}
+	for d := int64(1); d <= e.size; d++ {
+		slot := (n.cycle + d) & e.mask
+		if len(e.flights[slot]) > 0 {
+			return n.cycle + d
+		}
+		for s := range e.shards {
+			if len(e.shards[s].wakes[slot]) > 0 {
+				return n.cycle + d
+			}
+		}
+	}
+	return math.MaxInt64
+}
+
+// skipIdle jumps the clock over k cycles the caller proved empty via
+// nextWorkCycle (see the event engine's skipIdle).
+//
+//drain:hotpath fast-forward entry, dispatched from Network.SkipIdle through the engine seam (dynamic calls are not followed)
+func (e *parallelEngine) skipIdle(n *Network, k int64) {
+	n.cycle += k
+	n.noteCycles(k)
+	if n.frozen {
+		n.Counters.FrozenCyc += k
+	}
+}
+
+// stop terminates the worker pool. Idempotent; subsequent Steps use the
+// inline path, which remains byte-identical.
+func (e *parallelEngine) stop() {
+	e.quitOnce.Do(func() {
+		e.stopped = true
+		close(e.quit)
+	})
+}
+
+// check validates the wheel, the per-shard activity structures and the
+// staging buffers against a full scan (tests only; see the event
+// engine's check for the invariant statements).
+func (e *parallelEngine) check(n *Network) error {
+	total := 0
+	for s := range e.flights {
+		for i := range e.flights[s] {
+			f := &e.flights[s][i]
+			if f.doneAt <= n.cycle || f.doneAt > n.cycle+e.maxOff {
+				return fmt.Errorf("noc: flight of packet %d lands at %d, outside (%d,%d]", f.pkt.ID, f.doneAt, n.cycle, n.cycle+e.maxOff)
+			}
+			if f.doneAt&e.mask != int64(s) {
+				return fmt.Errorf("noc: flight of packet %d (doneAt %d) filed in wheel slot %d", f.pkt.ID, f.doneAt, s)
+			}
+		}
+		total += len(e.flights[s])
+	}
+	if total != e.count {
+		return fmt.Errorf("noc: wheel holds %d flights, count says %d", total, e.count)
+	}
+	for s := range e.shards {
+		sh := &e.shards[s]
+		for r := 0; r < len(e.shardOf); r++ {
+			owned := r >= sh.lo && r < sh.hi
+			if !owned && (sh.alloc.get(r) || sh.inj.get(r)) {
+				return fmt.Errorf("noc: shard %d holds activity bit for router %d outside [%d,%d)", s, r, sh.lo, sh.hi)
+			}
+		}
+		for d := range sh.upOut {
+			if len(sh.upOut[d]) != 0 {
+				return fmt.Errorf("noc: shard %d has %d unstaged upstream frees for shard %d between cycles", s, len(sh.upOut[d]), d)
+			}
+		}
+		if sh.injDelta != 0 {
+			return fmt.Errorf("noc: shard %d has unreduced injPending delta %d", s, sh.injDelta)
+		}
+	}
+	head := func(r int, p *Packet) error {
+		sh := &e.shards[e.shardOf[r]]
+		if p == nil || p.sending {
+			return nil
+		}
+		if p.readyAt <= n.cycle {
+			if !sh.alloc.get(r) {
+				return fmt.Errorf("noc: eligible head (packet %d) at router %d but activity bit clear", p.ID, r)
+			}
+			return nil
+		}
+		if p.readyAt > n.cycle+e.maxOff {
+			return fmt.Errorf("noc: packet %d matures at %d, beyond the wheel horizon %d", p.ID, p.readyAt, n.cycle+e.maxOff)
+		}
+		for _, wr := range sh.wakes[p.readyAt&e.mask] {
+			if int(wr) == r {
+				return nil
+			}
+		}
+		return fmt.Errorf("noc: immature head (packet %d) at router %d has no wake at cycle %d", p.ID, r, p.readyAt)
+	}
+	for l := 0; l < n.g.NumLinks(); l++ {
+		router := n.g.Link(l).To
+		for s := range n.linkVC[l] {
+			if err := head(router, n.linkVC[l][s].pkt); err != nil {
+				return err
+			}
+		}
+	}
+	for r := 0; r < n.g.N(); r++ {
+		for s := range n.localVC[r] {
+			if err := head(r, n.localVC[r][s].pkt); err != nil {
+				return err
+			}
+		}
+		for c := range n.injQ[r] {
+			if n.injQ[r][c].Len() > 0 && !e.shards[e.shardOf[r]].inj.get(r) {
+				return fmt.Errorf("noc: router %d has queued injections but injection bit clear", r)
+			}
+		}
+	}
+	return nil
+}

@@ -51,14 +51,47 @@ type grant struct {
 	setEscape  bool
 	downPhase  bool
 	productive bool
+	// cond/bubbleTo/bubbleVN support the parallel engine's deferred
+	// bubble-rule recheck (the one cross-router read during allocation;
+	// see parallel.go). Serial arbitration leaves them zero (condAlways).
+	cond     uint8
+	bubbleTo int32
+	bubbleVN int32
+}
+
+// grant.cond values: when the parallel engine plans options before the
+// serial commit, the single-VC bubble rule (routerFreeInVN) cannot be
+// evaluated yet — other routers' commits may still reserve slots at the
+// target router. The plan emits both outcomes, tagged, and the commit
+// keeps exactly the one the serial allocator would have built.
+const (
+	condAlways     uint8 = iota // valid unconditionally
+	condBubbleOK                // valid iff routerFreeInVN(bubbleTo, bubbleVN) >= 2 at commit
+	condBubbleFail              // valid iff routerFreeInVN(bubbleTo, bubbleVN) < 2 at commit
+)
+
+// gatherScratch is the per-allocator request-gathering scratch. The
+// serial engines use the Network's single instance; the parallel
+// engine's plan workers each own one so gathering can run concurrently.
+type gatherScratch struct {
+	reqs []request
+	// outs collects the output links stamped via noteWantOut for the
+	// router currently gathering, kept sorted ascending so iterating it
+	// visits outputs in exactly outLinks order (link IDs are dense and
+	// outLinks is built in ID order).
+	outs []int
+	// spill marks that the current router stopped tracking wanted
+	// outputs (too many requests); the allocator scans all its outputs.
+	spill bool
 }
 
 // Step advances the network by one cycle: completes arrivals, performs
 // switch/VC allocation (unless frozen), and moves injection-queue heads
 // into free local VCs. The caller consumes ejection queues afterwards.
-// The cycle body is dispatched through the configured engine (event or
-// dense); both drive the same mutation paths below and are byte-
-// identical — see DESIGN.md §"Event-driven core".
+// The cycle body is dispatched through the configured engine (event,
+// dense, or parallel); all drive the same mutation paths below and are
+// byte-identical — see DESIGN.md §"Event-driven core" and §"Sharded
+// parallel engine".
 func (n *Network) Step() {
 	n.cycle++
 	n.noteCycles(1)
@@ -68,21 +101,36 @@ func (n *Network) Step() {
 // land applies the effects of a completed transfer.
 func (n *Network) land(f flight) {
 	p := f.pkt
-	// Free the upstream buffer.
-	n.slotOf(p.inLink, p.atRouter, p.slot).pkt = nil
-	n.occIn[p.atRouter]--
-	if p.inLink == LocalPort {
-		n.occLocal[p.atRouter]--
-	} else {
-		n.occLink[p.inLink]--
-	}
-	n.Counters.BufReads += int64(p.Flits)
+	n.freeUpstream(p.inLink, p.atRouter, p.slot, int64(p.Flits), &n.Counters)
 	p.sending = false
 
 	if f.eject {
 		n.pushEject(f.toRouter, p)
 		return
 	}
+	n.landArrive(f, &n.Counters)
+}
+
+// freeUpstream releases the input VC slot a departed packet occupied.
+// The position is passed explicitly (not read from the packet) because
+// the parallel engine applies the release after the arrival side has
+// already overwritten the packet's position fields.
+func (n *Network) freeUpstream(inLink, router, slot int, flits int64, ctr *Counters) {
+	n.slotOf(inLink, router, slot).pkt = nil
+	n.occIn[router]--
+	if inLink == LocalPort {
+		n.occLocal[router]--
+	} else {
+		n.occLink[inLink]--
+	}
+	ctr.BufReads += flits
+}
+
+// landArrive applies the downstream (destination-router) effects of a
+// completed non-eject transfer. Counter increments go to ctr so the
+// parallel engine can stage them per shard.
+func (n *Network) landArrive(f flight, ctr *Counters) {
+	p := f.pkt
 	dst := &n.linkVC[f.toLink][f.toSlot]
 	dst.reserved = false
 	dst.pkt = p
@@ -99,12 +147,12 @@ func (n *Network) land(f flight) {
 	p.DownPhase = f.downPhase
 	if !f.productive {
 		p.Misroutes++
-		n.Counters.Misroutes++
+		ctr.Misroutes++
 	}
-	n.Counters.Hops++
-	n.Counters.LinkFlits += int64(p.Flits)
-	n.Counters.BufWrites += int64(p.Flits)
-	n.Counters.noteVNActivity(p.VNet, f.toRouter, n.cycle, int64(p.Flits))
+	ctr.Hops++
+	ctr.LinkFlits += int64(p.Flits)
+	ctr.BufWrites += int64(p.Flits)
+	ctr.noteVNActivity(p.VNet, f.toRouter, n.cycle, int64(p.Flits))
 	n.eng.placed(n, f.toRouter, p.readyAt)
 }
 
@@ -138,7 +186,7 @@ func (n *Network) allocate() {
 		if n.occIn[r] == 0 {
 			continue
 		}
-		n.allocateRouter(r)
+		n.allocateRouter(r, &n.gs)
 	}
 }
 
@@ -149,8 +197,8 @@ func (n *Network) allocate() {
 // the two are equal, so a head that is blocked, loses arbitration, or
 // is merely waiting to become stalled-enough to deroute keeps the
 // router in the active set.
-func (n *Network) allocateRouter(r int) (eligible, granted int) {
-	reqs, eligible := n.gatherRequests(r)
+func (n *Network) allocateRouter(r int, gs *gatherScratch) (eligible, granted int) {
+	reqs, eligible := n.gatherRequests(r, gs)
 	if len(reqs) == 0 {
 		return eligible, 0
 	}
@@ -161,8 +209,8 @@ func (n *Network) allocateRouter(r int) (eligible, granted int) {
 	if n.ejectBusy[r] <= n.cycle {
 		granted += n.arbitrateEject(r, reqs)
 	}
-	outs := n.scrOuts
-	if n.scrOutsSpill {
+	outs := gs.outs
+	if gs.spill {
 		// Heavily loaded router: the wanted-output set is incomplete, so
 		// arbitrate every output. Unwanted outputs yield zero options and
 		// draw nothing, and both slices ascend by link ID, so the grant
@@ -184,28 +232,28 @@ func (n *Network) allocateRouter(r int) (eligible, granted int) {
 // routing candidates right now (deroute/escape eligibility can appear
 // with the passage of time alone, so such heads must keep the router
 // active).
-func (n *Network) gatherRequests(r int) ([]request, int) {
+func (n *Network) gatherRequests(r int, gs *gatherScratch) ([]request, int) {
 	eligible := 0
-	reqs := n.scrReqs[:0]
-	n.scrOuts = n.scrOuts[:0]
-	n.scrOutsSpill = false
+	reqs := gs.reqs[:0]
+	gs.outs = gs.outs[:0]
+	gs.spill = false
 	for _, l := range n.inLinks[r] {
 		if n.occLink[l] == 0 {
 			continue
 		}
-		reqs, eligible = n.considerVCs(r, l, n.linkVC[l], reqs, eligible)
+		reqs, eligible = n.considerVCs(r, l, n.linkVC[l], gs, reqs, eligible)
 	}
 	if n.occLocal[r] != 0 {
-		reqs, eligible = n.considerVCs(r, LocalPort, n.localVC[r], reqs, eligible)
+		reqs, eligible = n.considerVCs(r, LocalPort, n.localVC[r], gs, reqs, eligible)
 	}
-	n.scrReqs = reqs
+	gs.reqs = reqs
 	return reqs, eligible
 }
 
 // considerVCs appends requests for the eligible heads among one input
 // port's VC slots and stamps n.wantOut for every output the appended
 // requests could use (see allocateRouter).
-func (n *Network) considerVCs(r, inLink int, slots []vcSlot, reqs []request, eligible int) ([]request, int) {
+func (n *Network) considerVCs(r, inLink int, slots []vcSlot, gs *gatherScratch, reqs []request, eligible int) ([]request, int) {
 	for s := range slots {
 		p := slots[s].pkt
 		if p == nil || p.sending || p.readyAt > n.cycle {
@@ -251,13 +299,13 @@ func (n *Network) considerVCs(r, inLink int, slots []vcSlot, reqs []request, eli
 			// and the per-candidate stamping would be pure overhead.
 			if len(reqs) < wantOutMaxReqs {
 				for _, c := range req.mainOuts {
-					n.noteWantOut(c.LinkID)
+					n.noteWantOut(gs, c.LinkID)
 				}
 				for _, c := range req.escOuts {
-					n.noteWantOut(c.LinkID)
+					n.noteWantOut(gs, c.LinkID)
 				}
 			} else {
-				n.scrOutsSpill = true
+				gs.spill = true
 			}
 			reqs = append(reqs, req)
 		}
@@ -270,32 +318,51 @@ func (n *Network) considerVCs(r, inLink int, slots []vcSlot, reqs []request, eli
 const wantOutMaxReqs = 4
 
 // noteWantOut records output link `out` as wanted by some request of the
-// router currently gathering, keeping scrOuts sorted ascending (= the
+// router currently gathering, keeping gs.outs sorted ascending (= the
 // outLinks iteration order the dense allocator used, so arbitration and
-// its RNG draws happen in the identical output order).
-func (n *Network) noteWantOut(out int) {
+// its RNG draws happen in the identical output order). The wantOut
+// cycle stamps live on the Network: a link belongs to exactly one source
+// router, so stamps from routers sharing a cycle never collide — which
+// also makes the stamping safe for the parallel engine's concurrent
+// per-shard gathering.
+func (n *Network) noteWantOut(gs *gatherScratch, out int) {
 	if n.wantOut[out] == n.cycle {
 		return
 	}
 	n.wantOut[out] = n.cycle
-	outs := append(n.scrOuts, out)
+	outs := append(gs.outs, out)
 	for j := len(outs) - 1; j > 0 && outs[j-1] > out; j-- {
 		outs[j], outs[j-1] = outs[j-1], outs[j]
 	}
-	n.scrOuts = outs
+	gs.outs = outs
 }
 
 // arbitrateEject grants the eject port to one destination packet,
 // returning the number of grants made (0 or 1).
 func (n *Network) arbitrateEject(r int, reqs []request) int {
-	winners := n.scrWin[:0]
+	winners := n.buildEjectWinners(r, reqs, n.scrWin[:0])
+	n.scrWin = winners
+	return n.commitEject(r, reqs, winners)
+}
+
+// buildEjectWinners appends the indices (into reqs) of the packets that
+// could take r's eject port this cycle. Feasibility depends only on
+// state owned by router r (its reqs' packets, its ejection queues), so
+// the parallel engine can build winner lists concurrently per shard and
+// commit them later unchanged.
+func (n *Network) buildEjectWinners(r int, reqs []request, winners []int) []int {
 	for i := range reqs {
 		req := &reqs[i]
 		if req.wantEj && !req.pkt.sending && n.ejectSpace(r, req.pkt.Class) {
 			winners = append(winners, i)
 		}
 	}
-	n.scrWin = winners
+	return winners
+}
+
+// commitEject draws the eject-port winner and applies the grant. Must
+// run serially in ascending router order (it consumes the shared RNG).
+func (n *Network) commitEject(r int, reqs []request, winners []int) int {
 	if len(winners) == 0 {
 		return 0
 	}
@@ -314,7 +381,26 @@ func (n *Network) arbitrateEject(r int, reqs []request) int {
 // arbitrateLink grants output link `out` of router r to one input VC,
 // returning the number of grants made (0 or 1).
 func (n *Network) arbitrateLink(r, out int, reqs []request) int {
-	options := n.scrOpts[:0]
+	options := n.buildLinkOptions(out, reqs, n.scrOpts[:0], false)
+	n.scrOpts = options
+	return n.commitLinkGrant(r, out, reqs, options)
+}
+
+// buildLinkOptions appends every feasible (request → output slot)
+// assignment for link `out` to options. All feasibility inputs are
+// stable for the whole allocation phase — an output link is granted at
+// most once per cycle and belongs to exactly one source router — with
+// two exceptions:
+//
+//   - p.sending: a packet granted an earlier output of the same router
+//     is skipped. With deferBubble the caller re-filters at commit time.
+//   - the single-VC bubble rule (routerFreeInVN of the *target* router),
+//     which other routers' same-cycle grants can still change. With
+//     deferBubble=false it is evaluated inline (serial allocators); with
+//     deferBubble=true the plan emits both outcomes as conditional
+//     options (grant.cond) for the serial commit to resolve at exactly
+//     the point the serial order would have evaluated the rule.
+func (n *Network) buildLinkOptions(out int, reqs []request, options []grant, deferBubble bool) []grant {
 	for i := range reqs {
 		req := &reqs[i]
 		p := req.pkt
@@ -334,46 +420,88 @@ func (n *Network) arbitrateLink(r, out int, reqs []request) int {
 			if n.freeSlotsInVN(out, p.VNet) < min(2, n.cfg.VCsPerVN) {
 				conservativeOK = false
 			}
-			if n.cfg.VCsPerVN == 1 && n.routerFreeInVN(n.g.Link(out).To, p.VNet) < 2 {
-				conservativeOK = false
-			}
-		}
-		// Non-escape path: needs the output in mainOuts and a free
-		// non-escape VC downstream in the packet's VNet.
-		if conservativeOK {
-			if c, ok := findCand(req.mainOuts, out); ok {
-				if slot, ok2 := n.freeDownstreamSlot(out, p.VNet, false); ok2 {
-					options = append(options, grant{
-						reqIdx: i, toSlot: slot,
-						downPhase: c.DownPhase, productive: c.Productive,
-					})
+			if conservativeOK && n.cfg.VCsPerVN == 1 {
+				to := n.g.Link(out).To
+				if !deferBubble {
+					if n.routerFreeInVN(to, p.VNet) < 2 {
+						conservativeOK = false
+					}
+				} else {
+					gOK, okOK := n.optionFor(out, i, req, true)
+					gFail, okFail := n.optionFor(out, i, req, false)
+					if okOK && okFail && gOK == gFail {
+						// Same grant either way: the bubble outcome is
+						// irrelevant, emit it unconditionally.
+						options = append(options, gOK)
+						continue
+					}
+					if okOK {
+						gOK.cond = condBubbleOK
+						gOK.bubbleTo = int32(to)
+						gOK.bubbleVN = int32(p.VNet)
+						options = append(options, gOK)
+					}
+					if okFail {
+						gFail.cond = condBubbleFail
+						gFail.bubbleTo = int32(to)
+						gFail.bubbleVN = int32(p.VNet)
+						options = append(options, gFail)
+					}
 					continue
 				}
 			}
 		}
-		// Escape path: output legal under escape routing and the escape
-		// slot downstream is free. A long-stalled local packet may claim
-		// an escape slot even against the conservative rule: drains
-		// guarantee escape buffers keep turning over, so this bounded
-		// bypass restores the injection-progress guarantee (§III-D2)
-		// without letting injection pack ordinary buffers to 100%.
-		escConservative := conservativeOK || n.injectBypass(p)
-		outsForEscape := req.escOuts
-		if !n.cfg.PolicyEscape {
-			outsForEscape = nil
+		if g, ok := n.optionFor(out, i, req, conservativeOK); ok {
+			options = append(options, g)
 		}
-		if escConservative {
-			if c, ok := findCand(outsForEscape, out); ok {
-				if slot, ok2 := n.freeDownstreamSlot(out, p.VNet, true); ok2 {
-					options = append(options, grant{
-						reqIdx: i, toSlot: slot, setEscape: !n.cfg.NonStickyEscape,
-						downPhase: c.DownPhase, productive: c.Productive,
-					})
-				}
+	}
+	return options
+}
+
+// optionFor computes the grant the serial allocator would build for req
+// on output `out`, given the conservative-rule outcome. The non-escape
+// path needs the output in mainOuts and a free non-escape VC downstream
+// in the packet's VNet; failing that, the escape path applies: output
+// legal under escape routing and the escape slot downstream free. A
+// long-stalled local packet may claim an escape slot even against the
+// conservative rule: drains guarantee escape buffers keep turning over,
+// so this bounded bypass restores the injection-progress guarantee
+// (§III-D2) without letting injection pack ordinary buffers to 100%.
+func (n *Network) optionFor(out, reqIdx int, req *request, conservativeOK bool) (grant, bool) {
+	p := req.pkt
+	if conservativeOK {
+		if c, ok := findCand(req.mainOuts, out); ok {
+			if slot, ok2 := n.freeDownstreamSlot(out, p.VNet, false); ok2 {
+				return grant{
+					reqIdx: reqIdx, toSlot: slot,
+					downPhase: c.DownPhase, productive: c.Productive,
+				}, true
 			}
 		}
 	}
-	n.scrOpts = options
+	escConservative := conservativeOK || n.injectBypass(p)
+	outsForEscape := req.escOuts
+	if !n.cfg.PolicyEscape {
+		outsForEscape = nil
+	}
+	if escConservative {
+		if c, ok := findCand(outsForEscape, out); ok {
+			if slot, ok2 := n.freeDownstreamSlot(out, p.VNet, true); ok2 {
+				return grant{
+					reqIdx: reqIdx, toSlot: slot, setEscape: !n.cfg.NonStickyEscape,
+					downPhase: c.DownPhase, productive: c.Productive,
+				}, true
+			}
+		}
+	}
+	return grant{}, false
+}
+
+// commitLinkGrant draws the winner among options and applies the grant.
+// Must run serially in ascending (router, output) order — it consumes
+// the shared RNG, and the option sets of later outputs depend on
+// earlier winners through p.sending.
+func (n *Network) commitLinkGrant(r, out int, reqs []request, options []grant) int {
 	if len(options) == 0 {
 		return 0
 	}
@@ -509,10 +637,20 @@ func (n *Network) injectFromQueues() {
 
 // injectRouterQueues attempts to move each of router r's injection-queue
 // heads into a free local VC, reporting whether any queue at r is still
-// non-empty afterwards. Injection draws no randomness, so both engines
+// non-empty afterwards. Injection draws no randomness, so the engines
 // can call it on any superset of the routers with queued packets.
 func (n *Network) injectRouterQueues(r int) bool {
-	pending := false
+	pending, emptied := n.injectRouterQueuesInto(r, &n.Counters)
+	n.injPending -= emptied
+	return pending
+}
+
+// injectRouterQueuesInto is injectRouterQueues with the side effects the
+// parallel engine must stage per shard made explicit: counter
+// increments go to ctr, and the number of queues drained to empty is
+// returned instead of applied to n.injPending (the caller reduces the
+// deltas in deterministic shard order).
+func (n *Network) injectRouterQueuesInto(r int, ctr *Counters) (pending bool, emptied int) {
 	for class := 0; class < n.cfg.Classes; class++ {
 		q := &n.injQ[r][class]
 		p := q.Peek()
@@ -526,7 +664,7 @@ func (n *Network) injectRouterQueues(r int) bool {
 		}
 		q.Pop()
 		if q.Len() == 0 {
-			n.injPending--
+			emptied++
 		} else {
 			pending = true
 		}
@@ -542,12 +680,12 @@ func (n *Network) injectRouterQueues(r int) bool {
 		if escape && !n.cfg.NonStickyEscape {
 			p.InEscape = true
 		}
-		n.Counters.Injected++
-		n.Counters.BufWrites += int64(p.Flits)
-		n.Counters.noteVNActivity(p.VNet, r, n.cycle, int64(p.Flits))
+		ctr.Injected++
+		ctr.BufWrites += int64(p.Flits)
+		ctr.noteVNActivity(p.VNet, r, n.cycle, int64(p.Flits))
 		n.eng.placed(n, r, p.readyAt)
 	}
-	return pending
+	return pending, emptied
 }
 
 // freeLocalSlot picks a free local VC in vn, preferring non-escape slots.

@@ -52,9 +52,15 @@ func executeFigure(ctx context.Context, c canonical) ([]experiments.Table, strin
 }
 
 // executeSweep runs a load sweep (the service form of cmd/drainsim
-// -sweep) and renders it as one table.
+// -sweep) and renders it as one table. The shard count is applied here,
+// after the cache key was taken: it changes only how fast the sweep
+// computes, and the rendered bytes stay identical for every value.
 func executeSweep(ctx context.Context, c canonical) ([]experiments.Table, string, error) {
-	curve, err := sim.LoadSweepContext(ctx, c.Params, c.Pattern, c.Rates, c.Warmup, c.Measure)
+	params := c.Params
+	if c.Shards > 0 {
+		params.Shards = c.Shards
+	}
+	curve, err := sim.LoadSweepContext(ctx, params, c.Pattern, c.Rates, c.Warmup, c.Measure)
 	if err != nil {
 		return nil, "", err
 	}

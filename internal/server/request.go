@@ -51,6 +51,14 @@ type Request struct {
 	Rates     []float64 `json:"rates,omitempty"`      // offered loads, default {0.02, 0.10}
 	Warmup    int64     `json:"warmup,omitempty"`     // warmup cycles, default 1000
 	Measure   int64     `json:"measure,omitempty"`    // measured cycles, default 4000
+
+	// Shards runs the sweep's simulations on the sharded parallel engine
+	// with that many shards (0 = the server's -shards process default).
+	// Results are byte-identical for every value, so shards are NOT part
+	// of the cache key: a sweep computed at shards=4 answers the same
+	// request at shards=1 from cache, and vice versa. Ignored by figure
+	// jobs (those follow the process default only).
+	Shards int `json:"shards,omitempty"`
 }
 
 // maxMesh bounds served topologies: a request is user input, and an
@@ -82,6 +90,12 @@ type canonical struct {
 	Rates   []float64  `json:"rates"`
 	Warmup  int64      `json:"warmup"`
 	Measure int64      `json:"measure"`
+
+	// Shards rides along to execution but is excluded from the encoding
+	// (and so from the cache key): the shard count changes how fast a
+	// sweep computes, never what it computes. sim.Params.Shards carries
+	// the same tag, keeping the embedded Params encoding shard-free.
+	Shards int `json:"-"`
 }
 
 // Canonicalize validates req and resolves every default, returning the
@@ -145,6 +159,9 @@ func (req Request) canonicalSweep() (canonical, error) {
 	if req.Warmup < 0 || req.Measure < 0 {
 		return canonical{}, fmt.Errorf("warmup and measure must be >= 0")
 	}
+	if req.Shards < 0 || req.Shards > maxMesh*maxMesh {
+		return canonical{}, fmt.Errorf("shards %d out of range (0..%d)", req.Shards, maxMesh*maxMesh)
+	}
 	p := sim.Params{
 		Width: req.Width, Height: req.Height,
 		Faults: req.Faults, FaultSeed: req.FaultSeed,
@@ -190,6 +207,7 @@ func (req Request) canonicalSweep() (canonical, error) {
 	return canonical{
 		Kind: KindSweep, Params: p, Pattern: pattern,
 		Rates: rates, Warmup: warmup, Measure: measure,
+		Shards: req.Shards,
 	}, nil
 }
 

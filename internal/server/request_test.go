@@ -47,6 +47,28 @@ func TestKeyDefaultsExplicitIdentical(t *testing.T) {
 	}
 }
 
+// The shard count steers execution speed, never results, so it must not
+// fragment the cache: requests differing only in shards share a key,
+// and the canonical form still carries the count to execution.
+func TestKeyIgnoresShards(t *testing.T) {
+	base := `{"kind":"sweep","scheme":"drain","width":8,"height":8,"faults":4}`
+	sharded := `{"kind":"sweep","scheme":"drain","width":8,"height":8,"faults":4,"shards":4}`
+	if a, b := keyOf(t, base), keyOf(t, sharded); a != b {
+		t.Fatalf("shards changed the cache key: %s vs %s", a, b)
+	}
+	var req Request
+	if err := json.Unmarshal([]byte(sharded), &req); err != nil {
+		t.Fatal(err)
+	}
+	c, err := req.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards != 4 {
+		t.Fatalf("canonical dropped the shard count: got %d, want 4", c.Shards)
+	}
+}
+
 // Any semantically different request must miss: each axis change below
 // must produce a distinct key.
 func TestKeySemanticChangesDiffer(t *testing.T) {
@@ -89,6 +111,7 @@ func TestCanonicalizeRejectsBadRequests(t *testing.T) {
 		`{"kind":"sweep","rates":[2.0]}`,             // rate out of range
 		`{"kind":"sweep","rates":[0.0]}`,             // rate out of range
 		`{"kind":"sweep","warmup":-1}`,               // negative warmup
+		`{"kind":"sweep","shards":-1}`,               // negative shards
 	}
 	for _, body := range bad {
 		var req Request

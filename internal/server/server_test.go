@@ -240,7 +240,7 @@ func TestHealthzOK(t *testing.T) {
 }
 
 func TestMetricsEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1})
+	_, ts := newTestServer(t, Config{Workers: 1, Shards: 4})
 	postJob(t, ts.URL, `{"fig":"fig6"}`) // miss + execute
 	postJob(t, ts.URL, `{"fig":"fig6"}`) // hit
 
@@ -264,6 +264,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"drainserved_cache_misses 1",
 		"drainserved_cache_entries 1",
 		"drainserved_cache_hit_rate 0.5000",
+		"drainserved_sim_parallel_shards 4",
 		"drainserved_sim_cycles_total ",
 		"drainserved_sim_cycles_per_second ",
 		"drainserved_job_latency_ms_count 1",

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"drain/internal/traffic"
+)
+
+// shardsFlag narrows the parallel differential tests to one shard
+// count (the CI engine-matrix job runs the suite at 2, 4 and 8, with
+// and without -race). Zero — the default — covers {1, 2, 3, 8}.
+var shardsFlag = flag.Int("drain.shards", 0, "restrict parallel-engine tests to this shard count (0 = built-in set)")
+
+func shardCounts() []int {
+	if *shardsFlag > 0 {
+		return []int{*shardsFlag}
+	}
+	return []int{1, 2, 3, 8}
+}
+
+// TestParallelEngineDifferential locks the sharded engine at the
+// simulation level: with rotation and freezes active (small DRAIN
+// epoch) and SPIN recovery in the mix, a run on the parallel engine at
+// every shard count must reproduce the event core's SyntheticResult
+// exactly — every counter, every latency float, bit for bit. The inline
+// fast path is disabled so the phased barrier pipeline itself is what
+// runs on these small meshes.
+func TestParallelEngineDifferential(t *testing.T) {
+	base := Params{
+		Width: 4, Height: 4,
+		FaultSeed: 11,
+		Epoch:     256, SpinTimeout: 128,
+		Seed: 7,
+	}
+	run := func(t *testing.T, p Params, shards int) SyntheticResult {
+		p.Shards = shards
+		if shards > 0 {
+			p.ParallelInline = -1
+		}
+		r, err := Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		res, err := r.RunSynthetic(traffic.UniformRandom{N: 16}, 0.30, 200, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, scheme := range []Scheme{SchemeDRAIN, SchemeSPIN} {
+		for _, nf := range []int{0, 3} {
+			t.Run(fmt.Sprintf("%s/faults%d", scheme, nf), func(t *testing.T) {
+				p := base
+				p.Scheme = scheme
+				p.Faults = nf
+				want := run(t, p, 0) // event engine reference
+				for _, k := range shardCounts() {
+					if got := run(t, p, k); !reflect.DeepEqual(want, got) {
+						t.Errorf("shards=%d diverges from event engine:\nevent:    %+v\nparallel: %+v", k, want, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelDeterminismBytes pins the strongest form of the contract
+// the result cache and goldens rely on: the marshalled result bytes —
+// floats included — are identical for every shard count.
+func TestParallelDeterminismBytes(t *testing.T) {
+	var want []byte
+	for _, k := range shardCounts() {
+		r, err := Build(Params{
+			Width: 5, Height: 5,
+			Scheme: SchemeDRAIN, Epoch: 512,
+			Seed:   21,
+			Shards: k, ParallelInline: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunSynthetic(traffic.Transpose{W: 5}, 0.20, 300, 2500)
+		r.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = b
+		} else if string(b) != string(want) {
+			t.Errorf("shards=%d result bytes diverge:\nfirst: %s\n here: %s", k, want, b)
+		}
+	}
+}
+
+// TestParallelEngineRaceHot keeps the phased pipeline hot for thousands
+// of cycles on a loaded mesh with drain rotation active — the
+// configuration where every staging buffer, barrier and bit structure
+// is busy. Its job is to give the race detector surface area: the CI
+// matrix runs this package under -race at several shard counts.
+func TestParallelEngineRaceHot(t *testing.T) {
+	shards := 4
+	if *shardsFlag > 0 {
+		shards = *shardsFlag
+	}
+	r, err := Build(Params{
+		Width: 8, Height: 8,
+		Scheme: SchemeDRAIN, Epoch: 256,
+		Seed:   5,
+		Shards: shards, ParallelInline: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	res, err := r.RunSynthetic(traffic.UniformRandom{N: 64}, 0.30, 500, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Ejected == 0 {
+		t.Fatal("hot parallel run delivered no packets")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"drain/internal/coherence"
 	"drain/internal/core"
@@ -152,8 +153,38 @@ type Params struct {
 	// across engines, so this only affects speed.
 	Engine noc.EngineKind
 
+	// Shards, when positive, runs the simulation on the sharded parallel
+	// engine (noc.EngineParallel) with that many shards, overriding
+	// Engine. Zero defers to the process default (SetDefaultShards).
+	// Results are byte-identical for every value — shards are a speed
+	// knob, not a model knob — so the field is excluded from the JSON
+	// form Normalized Params are cache-keyed by.
+	Shards int `json:"-"`
+	// ParallelInline overrides the parallel engine's inline-cycle
+	// threshold (see noc.Config.ParallelInline; tests use -1 to force
+	// the phased pipeline). Excluded from cache keys like Shards.
+	ParallelInline int `json:"-"`
+
+	// RoutingTable optionally reuses a prebuilt routing table (see
+	// noc.Config.Table). It must have been built over the *same graph
+	// value* the runner gets, so it pairs with BuildOn (Build constructs
+	// a fresh graph, which can never match). Routing is a pure function
+	// of the topology, so reuse cannot change results; excluded from
+	// cache keys like Shards.
+	RoutingTable *routing.Table `json:"-"`
+
 	Seed uint64
 }
+
+// defaultShards is the process-wide shard count applied when a Params
+// leaves Shards at zero (set from the -shards flag of cmd/experiments
+// and cmd/drainserved, which fan out over internally built Params).
+var defaultShards atomic.Int64
+
+// SetDefaultShards sets the process-wide default shard count: n > 0
+// makes every Build with Params.Shards == 0 use the parallel engine
+// with n shards; n <= 0 restores the built-in (serial event engine).
+func SetDefaultShards(n int) { defaultShards.Store(int64(n)) }
 
 func (p *Params) setDefaults() {
 	if p.Width <= 0 {
@@ -253,6 +284,19 @@ func BuildOn(g *topology.Graph, mesh *topology.Mesh, p Params) (*Runner, error) 
 		DerouteAfter: p.DerouteAfter,
 		Seed:         p.Seed,
 		Engine:       p.Engine,
+		Table:        p.RoutingTable,
+	}
+	shards := p.Shards
+	if shards == 0 {
+		shards = int(defaultShards.Load())
+	}
+	if shards > 0 || p.Engine == noc.EngineParallel {
+		cfg.Engine = noc.EngineParallel
+		if shards < 1 {
+			shards = 1
+		}
+		cfg.Shards = shards
+		cfg.ParallelInline = p.ParallelInline
 	}
 	switch p.Scheme {
 	case SchemeNone, SchemeIdeal, SchemeSPIN:
@@ -320,6 +364,11 @@ func sinkClasses(classes int) []bool {
 	}
 	return out
 }
+
+// Close releases engine-owned resources (the parallel engine's worker
+// goroutines). Optional — a finalizer covers forgotten runners — but
+// sweeps that build many runners should close each when done with it.
+func (r *Runner) Close() { r.Net.Close() }
 
 // TickScheme advances whichever controller the scheme uses; call once
 // per cycle after Net.Step.
