@@ -27,6 +27,7 @@ func main() {
 	mesh := flag.String("mesh", "8x8", "mesh dimensions WxH")
 	faults := flag.Int("faults", 0, "random bidirectional link failures (connectivity preserved)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault pattern seed")
+	faultSchedule := flag.String("fault-schedule", "", "scheduled live link failures/recoveries, e.g. \"1000:fail:2-3,3000:recover:2-3\" (cycle:action:a-b, comma-separated)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	pattern := flag.String("pattern", "uniform", "synthetic traffic pattern")
 	rate := flag.Float64("rate", 0.05, "offered load, packets/node/cycle")
@@ -78,11 +79,16 @@ func main() {
 	if _, err := fmt.Sscanf(strings.ToLower(*mesh), "%dx%d", &w, &h); err != nil {
 		fatal(fmt.Errorf("bad -mesh %q: %v", *mesh, err))
 	}
+	sched, err := sim.ParseFaultSchedule(*faultSchedule)
+	if err != nil {
+		fatal(err)
+	}
 	p := sim.Params{
 		Width: w, Height: h,
 		Faults: *faults, FaultSeed: *faultSeed,
 		Scheme: sch, Epoch: *epoch, Seed: *seed,
-		Shards: *shards,
+		Shards:        *shards,
+		FaultSchedule: sched,
 	}
 	if *wl != "" {
 		p.Classes = 3
@@ -175,6 +181,15 @@ func main() {
 	if r.Spin != nil {
 		st := r.Spin.Stats()
 		fmt.Printf("spins: %d detections, %d spins, %d probes\n", st.Detections, st.Spins, st.Probes)
+	}
+	if len(r.FaultReports) > 0 {
+		var rerouted, dropped int
+		for _, rep := range r.FaultReports {
+			rerouted += rep.Rerouted
+			dropped += rep.Dropped
+		}
+		fmt.Printf("reconfigurations: %d (%d packets rerouted, %d dropped)\n",
+			len(r.FaultReports), rerouted, dropped)
 	}
 }
 

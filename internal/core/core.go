@@ -15,6 +15,7 @@ import (
 
 	"drain/internal/drainpath"
 	"drain/internal/noc"
+	"drain/internal/topology"
 )
 
 // PathAlgorithm selects how the offline drain path is computed.
@@ -138,6 +139,54 @@ func New(net *noc.Network, cfg Config) (*Controller, error) {
 
 // Path returns the drain path in use.
 func (c *Controller) Path() *drainpath.Path { return c.path }
+
+// Reconfigure recomputes the drain path online after a live topology
+// change: active is the currently fault-free subgraph of the network's
+// full topology (the same subgraph passed to noc.Network.Reconfigure).
+// The new path is computed over active — a full rebuild, the correctness
+// fallback; the path construction itself is already incremental-cheap
+// (Hierholzer is linear in links) — and the turn-table is remapped into
+// the full graph's link-ID space, with -1 for failed links. That is safe
+// because failed links are empty at drain time: DrainRotate requires a
+// quiesced network, evacuation cleared their buffers at the failure, and
+// no grant ever targets them — so the rotation's nil-occupant skip never
+// dereferences a -1 entry. The epoch schedule is unchanged: the next
+// drain fires when it would have.
+func (c *Controller) Reconfigure(active *topology.Graph) error {
+	var (
+		p   *drainpath.Path
+		err error
+	)
+	switch c.cfg.Algorithm {
+	case PathEulerian:
+		p, err = drainpath.FindEulerian(active)
+	case PathSearch:
+		p, err = drainpath.FindCoveringCycle(active, 0)
+	default:
+		err = fmt.Errorf("core: unknown path algorithm %d", c.cfg.Algorithm)
+	}
+	if err != nil {
+		return fmt.Errorf("core: drain path recomputation failed: %w", err)
+	}
+	full := c.net.Graph()
+	for id := range c.next {
+		c.next[id] = -1
+	}
+	for _, al := range active.Links() {
+		fid, ok := full.LinkID(al.From, al.To)
+		if !ok {
+			return fmt.Errorf("core: active link %v is not part of the full topology", al)
+		}
+		sl := active.Link(p.NextID(al.ID))
+		fsucc, ok := full.LinkID(sl.From, sl.To)
+		if !ok {
+			return fmt.Errorf("core: active link %v is not part of the full topology", sl)
+		}
+		c.next[fid] = fsucc
+	}
+	c.path = p
+	return nil
+}
 
 // Stats returns a snapshot of controller activity.
 func (c *Controller) Stats() Stats { return c.stats }

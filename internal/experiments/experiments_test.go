@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig3", "fig4", "fig5", "fig6", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"headline", "disc",
+		"headline", "disc", "reconfig",
 	}
 	for _, id := range want {
 		e, ok := ByID(id)

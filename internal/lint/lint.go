@@ -128,6 +128,10 @@ func DefaultConfig() *Config {
 			"internal/noc.Network.SkipIdle",
 			"internal/noc.Network.DiscardEjected",
 			"internal/traffic.Generator.SkipQuiet",
+			// Live reconfiguration runs mid-simulation between Steps; the
+			// overlay swap, flight drops and buffer evacuations must not
+			// allocate (the routing-table rebuild happens outside, in sim).
+			"internal/noc.Network.Reconfigure",
 		},
 	}
 }

@@ -56,6 +56,25 @@ func (e *engine) amortized() {
 	e.scratch = append(make([]int, 0, 64), e.scratch...)
 }
 
+// Live reconfiguration is a between-steps entry point: it runs
+// mid-simulation, so the handlers it reaches must stay alloc-free even
+// though they are not reachable from the per-cycle step root.
+//
+//drain:hotpath fixture root: models the between-steps reconfig entry
+func (e *engine) reconfigure(down []bool) {
+	for l := range down {
+		if down[l] {
+			e.onLinkFail(l)
+		}
+	}
+}
+
+func (e *engine) onLinkFail(l int) {
+	e.scratch = append(e.scratch, l) // ok: reused field buffer
+	dropped := map[int]bool{l: true} // want `\[hotalloc\] onLinkFail is hot-path reachable: map literal allocates`
+	_ = dropped
+}
+
 // idle is never reached from the root: allocations here are fine.
 func idle(n int) []int {
 	return make([]int, n)

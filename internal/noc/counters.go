@@ -21,6 +21,11 @@ type Counters struct {
 	FullDrains int64 // full drains executed
 	FrozenCyc  int64 // cycles spent frozen (pre-drain + drain windows)
 
+	// Runtime fault/reconfiguration outcomes (see Network.Reconfigure).
+	Reconfigs     int64 // live topology reconfigurations applied
+	FaultReroutes int64 // buffered packets evacuated off failed links
+	FaultDrops    int64 // packets dropped by link failures (in flight or stranded)
+
 	// Per-virtual-network activity, for the Fig. 4 active/wasted power
 	// split. Activity is tracked at router granularity: VN vn is active
 	// at router r in a cycle when one of its flits moved through r, and
@@ -79,6 +84,9 @@ func (c *Counters) absorb(d *Counters) {
 	c.Drains += d.Drains
 	c.FullDrains += d.FullDrains
 	c.FrozenCyc += d.FrozenCyc
+	c.Reconfigs += d.Reconfigs
+	c.FaultReroutes += d.FaultReroutes
+	c.FaultDrops += d.FaultDrops
 	d.Created = 0
 	d.Injected = 0
 	d.Ejected = 0
@@ -96,6 +104,9 @@ func (c *Counters) absorb(d *Counters) {
 	d.Drains = 0
 	d.FullDrains = 0
 	d.FrozenCyc = 0
+	d.Reconfigs = 0
+	d.FaultReroutes = 0
+	d.FaultDrops = 0
 	for i := range d.VNFlits {
 		c.VNFlits[i] += d.VNFlits[i]
 		d.VNFlits[i] = 0

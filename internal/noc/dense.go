@@ -61,6 +61,23 @@ func (d *denseEngine) eachFlight(fn func(f *flight)) {
 	}
 }
 
+// removeFailedFlights filters the in-flight slice in place, dropping
+// transfers bound for a failed link.
+func (d *denseEngine) removeFailedFlights(n *Network, down []bool) int {
+	dropped := 0
+	out := d.inflights[:0]
+	for _, f := range d.inflights {
+		if !f.eject && down[f.toLink] {
+			n.dropFlight(f)
+			dropped++
+			continue
+		}
+		out = append(out, f)
+	}
+	d.inflights = out
+	return dropped
+}
+
 // nextWorkCycle cannot prove idleness without event bookkeeping, so the
 // dense engine always reports possible work next cycle; drivers built
 // on the hint (sim.RunSyntheticContext) then never skip, and stay

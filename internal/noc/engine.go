@@ -75,6 +75,12 @@ type engine interface {
 	// have proven the window empty via nextWorkCycle; the dense engine
 	// panics (its nextWorkCycle never admits a skippable window).
 	skipIdle(n *Network, k int64)
+	// removeFailedFlights drops every pending non-eject transfer whose
+	// destination link is marked down, applying n.dropFlight to each and
+	// returning the count. Drop effects commute (disjoint packets and
+	// slots, order-independent counter sums), so engines may visit their
+	// flight sets in any internal order. Called between Steps only.
+	removeFailedFlights(n *Network, down []bool) int
 	// check validates engine-internal invariants against a full scan of
 	// the network state (tests only).
 	check(n *Network) error

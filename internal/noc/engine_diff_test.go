@@ -84,6 +84,39 @@ func checkDenseVsEvent(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) error {
 		next[id] = path.NextID(id)
 	}
 
+	// Live fault plan (3/4 of seeds): fail one removable link mid-run
+	// and restore it later. All three networks reconfigure between the
+	// same Steps and must agree on the reconfiguration report (packets
+	// dropped and rerouted) as well as everything downstream. ">="
+	// triggers keep the plan robust to idle fast-forward jumps: a skipped
+	// exact cycle applies at the next executed iteration, identically for
+	// all three networks.
+	frng := rand.New(rand.NewPCG(seed^0xfa17, seed))
+	active := g
+	var failed topology.Edge
+	faultAt, restoreAt := int64(-1), int64(-1)
+	if (seed>>5)%4 != 3 {
+		faultAt = 250 + int64(frng.IntN(100))
+		restoreAt = 700 + int64(frng.IntN(100))
+	}
+	reconfigAll := func(na *topology.Graph) error {
+		tab, nx, err := buildReconfig(na, g)
+		if err != nil {
+			return errSkip
+		}
+		repD, errD := de.Reconfigure(na, tab)
+		repE, errE := ev.Reconfigure(na, tab)
+		repP, errP := pa.Reconfigure(na, tab)
+		if errD != nil || errE != nil || errP != nil {
+			return fmt.Errorf("reconfigure errors: dense=%v event=%v parallel=%v", errD, errE, errP)
+		}
+		if repD != repE || repD != repP {
+			return fmt.Errorf("reconfig reports diverge: dense=%+v event=%+v parallel=%+v", repD, repE, repP)
+		}
+		active, next = na, nx
+		return nil
+	}
+
 	const horizon = int64(1200)
 	for cyc := int64(0); cyc < horizon; cyc++ {
 		if cyc < horizon/2 && rng.Float64() < 0.5 {
@@ -98,6 +131,31 @@ func checkDenseVsEvent(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) error {
 				if okD != okE || okD != okP {
 					return fmt.Errorf("cycle %d: inject accepted dense=%v event=%v parallel=%v", cyc, okD, okE, okP)
 				}
+			}
+		}
+		if faultAt >= 0 && cyc >= faultAt {
+			faultAt = -1
+			if cands := topology.RemovableEdges(active); len(cands) > 0 {
+				failed = cands[frng.IntN(len(cands))]
+				na, err := active.WithoutEdge(failed.A, failed.B)
+				if err != nil {
+					return fmt.Errorf("cycle %d: fail link %v: %w", cyc, failed, err)
+				}
+				if err := reconfigAll(na); err != nil {
+					return fmt.Errorf("cycle %d: %w", cyc, err)
+				}
+			} else {
+				restoreAt = -1
+			}
+		}
+		if restoreAt >= 0 && faultAt < 0 && cyc >= restoreAt {
+			restoreAt = -1
+			na, err := active.WithEdge(failed.A, failed.B)
+			if err != nil {
+				return fmt.Errorf("cycle %d: restore link %v: %w", cyc, failed, err)
+			}
+			if err := reconfigAll(na); err != nil {
+				return fmt.Errorf("cycle %d: restore: %w", cyc, err)
 			}
 		}
 		if cfg.PolicyEscape && cyc%150 == 100 {

@@ -165,6 +165,27 @@ func (e *eventEngine) eachFlight(fn func(f *flight)) {
 	}
 }
 
+// removeFailedFlights filters every wheel slot in place, dropping
+// transfers bound for a failed link and fixing the pending count.
+func (e *eventEngine) removeFailedFlights(n *Network, down []bool) int {
+	dropped := 0
+	for s := range e.flights {
+		fl := e.flights[s]
+		out := fl[:0]
+		for _, f := range fl {
+			if !f.eject && down[f.toLink] {
+				n.dropFlight(f)
+				dropped++
+				continue
+			}
+			out = append(out, f)
+		}
+		e.flights[s] = out
+	}
+	e.count -= dropped
+	return dropped
+}
+
 // nextWorkCycle returns the earliest cycle at which stepping could have
 // any effect: now+1 while any activity bit is set (an eligible or
 // blocked head retries every cycle, and a queued injection would

@@ -16,13 +16,47 @@ import (
 // (e.g. the random graph could not be built); not a property violation.
 var errSkip = errors.New("uninteresting input")
 
+// buildReconfig computes what a live topology change needs: the routing
+// table over the active subgraph with candidates remapped into full's
+// link-ID space, and the drain turn-table in full's link-ID space with
+// -1 for failed links (exactly what core.Controller.Reconfigure
+// produces).
+func buildReconfig(active, full *topology.Graph) (*routing.Table, []int, error) {
+	tab, err := routing.NewTableRemapped(active, full, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	path, err := drainpath.FindEulerian(active)
+	if err != nil {
+		return nil, nil, err
+	}
+	next := make([]int, full.NumLinks())
+	for i := range next {
+		next[i] = -1
+	}
+	for _, al := range active.Links() {
+		fid, ok := full.LinkID(al.From, al.To)
+		if !ok {
+			return nil, nil, fmt.Errorf("active link %v not in full graph", al)
+		}
+		sl := active.Link(path.NextID(al.ID))
+		fsucc, ok := full.LinkID(sl.From, sl.To)
+		if !ok {
+			return nil, nil, fmt.Errorf("active link %v not in full graph", sl)
+		}
+		next[fid] = fsucc
+	}
+	return tab, next, nil
+}
+
 // checkConservation is the simulator's strongest net: random topologies,
-// random VC structure, random traffic and periodic drains — no packet
-// may ever be lost, duplicated or misdelivered, and the internal
-// invariants must hold throughout. It returns nil on success, errSkip
-// for inputs that produce no simulable config, and a descriptive error
-// on a property violation. Shared by the quick.Check property test and
-// the native fuzz target.
+// random VC structure, random traffic, periodic drains and live link
+// failures/recoveries — no packet may ever be lost, duplicated or
+// misdelivered (packets cut by a failure are accounted in FaultDrops),
+// and the internal invariants must hold throughout. It returns nil on
+// success, errSkip for inputs that produce no simulable config, and a
+// descriptive error on a property violation. Shared by the quick.Check
+// property test and the native fuzz target.
 func checkConservation(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) error {
 	rng := rand.New(rand.NewPCG(seed, seed^0xfeed))
 	nNodes := int(nRaw%12) + 4
@@ -55,6 +89,19 @@ func checkConservation(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) error {
 		next[id] = path.NextID(id)
 	}
 
+	// Live fault plan (3/4 of seeds): fail one removable link mid-run
+	// and restore it later, reconfiguring routing and the drain path on
+	// the fly. A dedicated RNG keeps the traffic stream independent of
+	// the plan.
+	frng := rand.New(rand.NewPCG(seed^0xfa17, seed))
+	active := g
+	var failed topology.Edge
+	faultAt, restoreAt := -1, -1
+	if seed%4 != 3 {
+		faultAt = 250 + frng.IntN(100)
+		restoreAt = 700 + frng.IntN(100)
+	}
+
 	created, delivered := 0, 0
 	seen := map[int64]bool{}
 	const horizon = 1200
@@ -69,6 +116,41 @@ func checkConservation(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) error {
 					created++
 				}
 			}
+		}
+		if faultAt >= 0 && cyc >= faultAt {
+			faultAt = -1
+			if cands := topology.RemovableEdges(active); len(cands) > 0 {
+				failed = cands[frng.IntN(len(cands))]
+				na, err := active.WithoutEdge(failed.A, failed.B)
+				if err != nil {
+					return fmt.Errorf("cycle %d: fail link %v: %w", cyc, failed, err)
+				}
+				tab, nx, err := buildReconfig(na, g)
+				if err != nil {
+					return errSkip
+				}
+				if _, err := net.Reconfigure(na, tab); err != nil {
+					return fmt.Errorf("cycle %d: reconfigure: %w", cyc, err)
+				}
+				active, next = na, nx
+			} else {
+				restoreAt = -1
+			}
+		}
+		if restoreAt >= 0 && faultAt < 0 && cyc >= restoreAt {
+			restoreAt = -1
+			na, err := active.WithEdge(failed.A, failed.B)
+			if err != nil {
+				return fmt.Errorf("cycle %d: restore link %v: %w", cyc, failed, err)
+			}
+			tab, nx, err := buildReconfig(na, g)
+			if err != nil {
+				return errSkip
+			}
+			if _, err := net.Reconfigure(na, tab); err != nil {
+				return fmt.Errorf("cycle %d: restore reconfigure: %w", cyc, err)
+			}
+			active, next = na, nx
 		}
 		// Occasional drain window (keeps escape VCs moving and
 		// exercises the rotation path under live traffic).
@@ -111,11 +193,12 @@ func checkConservation(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) error {
 			}
 		}
 	}
-	// Conservation: every created packet is delivered or still in the
-	// system (deadlocks can strand packets; none may vanish).
-	if delivered+net.InFlightPackets() != created {
-		return fmt.Errorf("conservation: created=%d delivered=%d inflight=%d",
-			created, delivered, net.InFlightPackets())
+	// Conservation: every created packet is delivered, still in the
+	// system, or was explicitly dropped by a link failure (deadlocks can
+	// strand packets; none may silently vanish).
+	if delivered+net.InFlightPackets()+int(net.Counters.FaultDrops) != created {
+		return fmt.Errorf("conservation: created=%d delivered=%d inflight=%d faultdrops=%d",
+			created, delivered, net.InFlightPackets(), net.Counters.FaultDrops)
 	}
 	return nil
 }

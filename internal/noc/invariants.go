@@ -108,6 +108,23 @@ func (n *Network) CheckInvariants() error {
 			return fmt.Errorf("noc: router %d local port occupancy %d, recount %d", r, n.occLocal[r], count)
 		}
 	}
+	// Failed links must be draining-only: no reservations (their flights
+	// were dropped at reconfiguration) and no buffered non-sending
+	// packets (evacuated or dropped); only a sending occupant departing
+	// over a surviving link may remain until its flight lands.
+	for l := range n.linkDown {
+		if !n.linkDown[l] {
+			continue
+		}
+		for s := range n.linkVC[l] {
+			if n.linkVC[l][s].reserved {
+				return fmt.Errorf("noc: failed link %d slot %d is reserved", l, s)
+			}
+			if p := n.linkVC[l][s].pkt; p != nil && !p.sending {
+				return fmt.Errorf("noc: failed link %d slot %d holds stranded packet %d", l, s, p.ID)
+			}
+		}
+	}
 	// The incremental non-empty-injection-queue count must agree with a
 	// full recount (injectFromQueues relies on it to skip empty cycles).
 	injCount := 0

@@ -115,6 +115,17 @@ type Network struct {
 	// the occLink of r's inbound links (checked by CheckInvariants).
 	occLink  []int32
 	occLocal []int32
+
+	// linkDown marks unidirectional links failed by a live
+	// reconfiguration (see Reconfigure). The graph and all linkID-indexed
+	// arrays keep the full topology's dense numbering forever; a failed
+	// link simply vanishes from every routing candidate set, so no hot
+	// path consults this overlay. Invariant: a down link's input VC slots
+	// hold no non-sending packets and no reservations.
+	linkDown []bool
+	// scrDown is Reconfigure's scratch for the incoming down set (the
+	// reconfig path is alloc-free; see the hotalloc root).
+	scrDown []bool
 }
 
 // New builds a network from cfg (cfg is validated and defaulted).
@@ -154,6 +165,8 @@ func New(cfg Config) (*Network, error) {
 	n.wantOut = make([]int64, g.NumLinks())
 	n.occLink = make([]int32, g.NumLinks())
 	n.occLocal = make([]int32, g.N())
+	n.linkDown = make([]bool, g.NumLinks())
+	n.scrDown = make([]bool, g.NumLinks())
 	n.eng = newEngine(&n.cfg)
 	for r := 0; r < g.N(); r++ {
 		n.localVC[r] = make([]vcSlot, n.vcPerPort)

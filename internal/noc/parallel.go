@@ -603,6 +603,29 @@ func (e *parallelEngine) eachFlight(fn func(f *flight)) {
 	}
 }
 
+// removeFailedFlights filters every wheel slot in place, dropping
+// transfers bound for a failed link. Runs on the stepping goroutine
+// between Steps, when the workers are parked, so no synchronization is
+// needed — a reconfiguration is a serial phase, like commits.
+func (e *parallelEngine) removeFailedFlights(n *Network, down []bool) int {
+	dropped := 0
+	for s := range e.flights {
+		fl := e.flights[s]
+		out := fl[:0]
+		for _, f := range fl {
+			if !f.eject && down[f.toLink] {
+				n.dropFlight(f)
+				dropped++
+				continue
+			}
+			out = append(out, f)
+		}
+		e.flights[s] = out
+	}
+	e.count -= dropped
+	return dropped
+}
+
 // nextWorkCycle mirrors the event engine: now+1 while any activity bit
 // is set, otherwise the earliest pending wheel event, otherwise never.
 //

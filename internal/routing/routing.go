@@ -114,6 +114,49 @@ func NewTableWithRoot(g *topology.Graph, mesh *topology.Mesh, root int) (*Table,
 	return t, nil
 }
 
+// NewTableRemapped builds routing state over the active subgraph (the
+// topology with currently-failed links removed) but expresses every
+// candidate's LinkID in full's link-ID space, so a network whose dense
+// per-link arrays were sized for the full topology can swap the table in
+// mid-run without renumbering anything.
+//
+// active must have the same routers as full and an edge set that is a
+// subset of full's. Distances, up*/down* numbering and Productive flags
+// are all computed over active — failed links simply do not appear in
+// any candidate set, including the AllOutputs deroute sets. XY is not
+// built (it is illegal on faulted meshes anyway): Graph() returns
+// active.
+func NewTableRemapped(active, full *topology.Graph, root int) (*Table, error) {
+	if active.N() != full.N() {
+		return nil, fmt.Errorf("routing: active subgraph has %d routers, full graph %d", active.N(), full.N())
+	}
+	t, err := NewTableWithRoot(active, nil, root)
+	if err != nil {
+		return nil, err
+	}
+	remap := func(tab [][]Candidate) error {
+		// Cells partition their shared arena (no overlap), so this touches
+		// each materialized candidate exactly once.
+		for _, cell := range tab {
+			for i := range cell {
+				l := active.Link(cell[i].LinkID)
+				id, ok := full.LinkID(l.From, l.To)
+				if !ok {
+					return fmt.Errorf("routing: active link %v is not part of the full graph", l)
+				}
+				cell[i].LinkID = id
+			}
+		}
+		return nil
+	}
+	for _, tab := range [][][]Candidate{t.adaptive, t.upDown[0], t.upDown[1], t.allOut, t.allOutProd} {
+		if err := remap(tab); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
 // Dist returns the BFS hop distance from r to dst.
 func (t *Table) Dist(r, dst int) int { return t.dist[r][dst] }
 

@@ -107,6 +107,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m.mu.Unlock()
 	fmt.Fprintf(w, "drainserved_sim_cycles_total %d\n", cycles)
 	fmt.Fprintf(w, "drainserved_sim_cycles_per_second %.0f\n", rate)
+	fmt.Fprintf(w, "drainserved_sim_reconfigs_total %d\n", noc.SimReconfigs())
+	fmt.Fprintf(w, "drainserved_sim_packets_rerouted_total %d\n", noc.SimPacketsRerouted())
 	fmt.Fprintf(w, "drainserved_job_latency_ms_count %d\n", count)
 	fmt.Fprintf(w, "drainserved_job_latency_ms_p50 %d\n", p50)
 	fmt.Fprintf(w, "drainserved_job_latency_ms_p99 %d\n", p99)

@@ -52,6 +52,13 @@ type Request struct {
 	Warmup    int64     `json:"warmup,omitempty"`     // warmup cycles, default 1000
 	Measure   int64     `json:"measure,omitempty"`    // measured cycles, default 4000
 
+	// FaultSchedule lists live topology changes (link failures and
+	// recoveries) applied mid-run at the scheduled cycles; see
+	// sim.FaultEvent. Unlike Shards, a schedule changes what the sweep
+	// computes, so it IS part of the cache key (it rides inside the
+	// canonical form's embedded sim.Params).
+	FaultSchedule []sim.FaultEvent `json:"fault_schedule,omitempty"`
+
 	// Shards runs the sweep's simulations on the sharded parallel engine
 	// with that many shards (0 = the server's -shards process default).
 	// Results are byte-identical for every value, so shards are NOT part
@@ -67,6 +74,9 @@ const maxMesh = 64
 
 // maxRates bounds the number of load points per sweep request.
 const maxRates = 64
+
+// maxFaultEvents bounds the fault schedule per sweep request.
+const maxFaultEvents = 256
 
 // canonical is a Request with every default resolved — the normal form
 // two equivalent requests share. Its JSON encoding (struct-declaration
@@ -162,19 +172,39 @@ func (req Request) canonicalSweep() (canonical, error) {
 	if req.Shards < 0 || req.Shards > maxMesh*maxMesh {
 		return canonical{}, fmt.Errorf("shards %d out of range (0..%d)", req.Shards, maxMesh*maxMesh)
 	}
+	if len(req.FaultSchedule) > maxFaultEvents {
+		return canonical{}, fmt.Errorf("too many fault events (%d > %d)", len(req.FaultSchedule), maxFaultEvents)
+	}
 	p := sim.Params{
 		Width: req.Width, Height: req.Height,
 		Faults: req.Faults, FaultSeed: req.FaultSeed,
 		Scheme: sch,
 		VNets:  req.VNets, VCsPerVN: req.VCsPerVN,
-		Epoch: req.Epoch,
-		Seed:  req.Seed,
+		Epoch:         req.Epoch,
+		Seed:          req.Seed,
+		FaultSchedule: req.FaultSchedule,
 	}.Normalized()
 	if p.FaultSeed == 0 {
 		p.FaultSeed = 1
 	}
 	if p.Seed == 0 {
 		p.Seed = 1
+	}
+	if len(p.FaultSchedule) > 0 {
+		// Validate the schedule against the concrete topology up front so
+		// a bad request fails with 400 now instead of 500 at execution
+		// time: sorted unique events, legal link states, connectivity
+		// preserved throughout — and no schedule at all under DoR.
+		if p.Scheme == sim.SchemeDoR {
+			return canonical{}, fmt.Errorf("scheme dor cannot run a fault schedule (needs a fault-free mesh)")
+		}
+		g, _, err := p.BuildGraph()
+		if err != nil {
+			return canonical{}, err
+		}
+		if err := sim.ValidateFaultSchedule(g, p.FaultSchedule); err != nil {
+			return canonical{}, err
+		}
 	}
 	pattern := req.Pattern
 	if pattern == "" {

@@ -69,6 +69,34 @@ func TestKeyIgnoresShards(t *testing.T) {
 	}
 }
 
+// A fault schedule changes what the sweep computes, so — unlike shards
+// — it MUST be part of the cache key: adding one, moving an event, or
+// flipping its direction each produce a distinct key, while shards
+// still do not fragment entries that share a schedule.
+func TestKeyIncludesFaultSchedule(t *testing.T) {
+	base := `{"kind":"sweep","scheme":"drain","width":8,"height":8}`
+	oneFault := `{"kind":"sweep","scheme":"drain","width":8,"height":8,
+		"fault_schedule":[{"cycle":1000,"a":1,"b":2,"fail":true}]}`
+	laterFault := `{"kind":"sweep","scheme":"drain","width":8,"height":8,
+		"fault_schedule":[{"cycle":2000,"a":1,"b":2,"fail":true}]}`
+	withRecover := `{"kind":"sweep","scheme":"drain","width":8,"height":8,
+		"fault_schedule":[{"cycle":1000,"a":1,"b":2,"fail":true},{"cycle":2000,"a":1,"b":2,"fail":false}]}`
+	keys := map[string]string{}
+	for _, body := range []string{base, oneFault, laterFault, withRecover} {
+		k := keyOf(t, body)
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("fault schedule not in cache key: %s and %s collide", prev, body)
+		}
+		keys[k] = body
+	}
+	// Shards still ride outside the key for scheduled-fault sweeps.
+	shardedFault := `{"kind":"sweep","scheme":"drain","width":8,"height":8,"shards":4,
+		"fault_schedule":[{"cycle":1000,"a":1,"b":2,"fail":true}]}`
+	if a, b := keyOf(t, oneFault), keyOf(t, shardedFault); a != b {
+		t.Fatalf("shards changed the key of a scheduled-fault sweep: %s vs %s", a, b)
+	}
+}
+
 // Any semantically different request must miss: each axis change below
 // must produce a distinct key.
 func TestKeySemanticChangesDiffer(t *testing.T) {
@@ -101,17 +129,23 @@ func TestKeySemanticChangesDiffer(t *testing.T) {
 func TestCanonicalizeRejectsBadRequests(t *testing.T) {
 	bad := []string{
 		`{"kind":"mystery"}`,
-		`{"kind":"figure"}`,                          // no fig
-		`{"fig":"fig999"}`,                           // unknown figure
-		`{"fig":"fig6","scale":"huge"}`,              // unknown scale
-		`{"kind":"sweep","scheme":"teleport"}`,       // unknown scheme
-		`{"kind":"sweep","width":1000}`,              // mesh too large
-		`{"kind":"sweep","faults":-1}`,               // negative faults
-		`{"kind":"sweep","pattern":"nope"}`,          // unknown pattern
-		`{"kind":"sweep","rates":[2.0]}`,             // rate out of range
-		`{"kind":"sweep","rates":[0.0]}`,             // rate out of range
-		`{"kind":"sweep","warmup":-1}`,               // negative warmup
-		`{"kind":"sweep","shards":-1}`,               // negative shards
+		`{"kind":"figure"}`,                    // no fig
+		`{"fig":"fig999"}`,                     // unknown figure
+		`{"fig":"fig6","scale":"huge"}`,        // unknown scale
+		`{"kind":"sweep","scheme":"teleport"}`, // unknown scheme
+		`{"kind":"sweep","width":1000}`,        // mesh too large
+		`{"kind":"sweep","faults":-1}`,         // negative faults
+		`{"kind":"sweep","pattern":"nope"}`,    // unknown pattern
+		`{"kind":"sweep","rates":[2.0]}`,       // rate out of range
+		`{"kind":"sweep","rates":[0.0]}`,       // rate out of range
+		`{"kind":"sweep","warmup":-1}`,         // negative warmup
+		`{"kind":"sweep","shards":-1}`,         // negative shards
+		`{"kind":"sweep","scheme":"dor","fault_schedule":[{"cycle":10,"a":1,"b":2,"fail":true}]}`,                        // DoR needs a fault-free mesh
+		`{"kind":"sweep","fault_schedule":[{"cycle":-1,"a":1,"b":2,"fail":true}]}`,                                       // negative cycle
+		`{"kind":"sweep","fault_schedule":[{"cycle":10,"a":1,"b":3,"fail":true}]}`,                                       // no such mesh link
+		`{"kind":"sweep","fault_schedule":[{"cycle":10,"a":1,"b":2,"fail":false}]}`,                                      // recovering an up link
+		`{"kind":"sweep","fault_schedule":[{"cycle":20,"a":1,"b":2,"fail":true},{"cycle":10,"a":5,"b":6,"fail":true}]}`,  // unsorted
+		`{"kind":"sweep","fault_schedule":[{"cycle":10,"a":1,"b":2,"fail":true},{"cycle":10,"a":2,"b":1,"fail":false}]}`, // duplicate link event
 	}
 	for _, body := range bad {
 		var req Request

@@ -87,6 +87,11 @@ func (r *Runner) RunSyntheticContext(ctx context.Context, pattern traffic.Patter
 	// base+cyc+1. It is nonzero when the runner is reused for a second run.
 	base := r.Net.Cycle()
 	for cyc := int64(0); cyc < total; cyc++ {
+		// Scheduled faults fire first, before injection and Step, so an
+		// event at cycle C reconfigures on the C→C+1 boundary.
+		if err := r.applyDueFaults(); err != nil {
+			return res, err
+		}
 		if !r.Net.Frozen() {
 			gen.Tick(r.Net)
 		}
@@ -127,6 +132,11 @@ func (r *Runner) RunSyntheticContext(ctx context.Context, pattern traffic.Patter
 			// NextWorkCycle hints are absolute network cycles; -base maps
 			// them onto the iteration counter.
 			u := min(r.Net.NextWorkCycle(), r.nextSchemeWorkCycle()) - base - 1
+			// A fault at absolute cycle C is applied at the top of
+			// iteration C-base, so that iteration must execute.
+			if fb := r.nextFaultCycle() - base; fb < u {
+				u = fb
+			}
 			if u > total {
 				u = total
 			}
@@ -264,6 +274,9 @@ func (r *Runner) RunAppContext(ctx context.Context, prof workload.Profile, opsTa
 	watch := r.Params.Scheme == SchemeNone
 	opts := noc.LivenessOpts{EjectLiveByClass: sinkClasses(r.Params.Classes)}
 	for cyc := int64(0); cyc < maxCycles; cyc++ {
+		if err := r.applyDueFaults(); err != nil {
+			return res, err
+		}
 		if err := r.Net.StepContext(ctx); err != nil {
 			return res, fmt.Errorf("sim: app run cancelled at cycle %d: %w", r.Net.Cycle(), err)
 		}

@@ -165,6 +165,13 @@ type Params struct {
 	// the phased pipeline). Excluded from cache keys like Shards.
 	ParallelInline int `json:"-"`
 
+	// FaultSchedule lists live topology changes (link failures and
+	// recoveries) applied mid-run at the scheduled cycle boundaries; see
+	// FaultEvent and ValidateFaultSchedule. Unlike Shards a schedule
+	// changes simulation results, so it stays in the JSON form cache
+	// keys are derived from.
+	FaultSchedule []FaultEvent `json:",omitempty"`
+
 	// RoutingTable optionally reuses a prebuilt routing table (see
 	// noc.Config.Table). It must have been built over the *same graph
 	// value* the runner gets, so it pairs with BuildOn (Build constructs
@@ -247,24 +254,46 @@ type Runner struct {
 	// Trace, when set before a run, receives one CSV record per ejected
 	// packet (see TraceHeader).
 	Trace io.Writer
+
+	// FaultReports records one entry per live reconfiguration applied
+	// from Params.FaultSchedule, in application order.
+	FaultReports []noc.ReconfigReport
+
+	// active is the currently fault-free subgraph (Graph until the first
+	// scheduled fault fires); faultIdx is the next unapplied event.
+	active   *topology.Graph
+	faultIdx int
 }
 
 // Build constructs a Runner from params.
 func Build(p Params) (*Runner, error) {
+	g, mesh, err := p.BuildGraph()
+	if err != nil {
+		return nil, err
+	}
+	return BuildOn(g, mesh, p)
+}
+
+// BuildGraph constructs exactly the (possibly randomly faulted)
+// topology Build would simulate on, without building the network.
+// Servers use it to validate a request's fault schedule against the
+// concrete topology up front, so a bad schedule fails fast instead of
+// failing the job at execution time.
+func (p Params) BuildGraph() (*topology.Graph, *topology.Mesh, error) {
 	p.setDefaults()
 	mesh, err := topology.NewMesh(p.Width, p.Height)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	g := mesh.Graph
 	if p.Faults > 0 {
 		rng := rand.New(rand.NewPCG(p.FaultSeed, p.FaultSeed^0xb5297a4d))
 		g, err = topology.RemoveRandomLinks(g, p.Faults, rng)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return BuildOn(g, mesh, p)
+	return g, mesh, nil
 }
 
 // BuildOn constructs a Runner over an explicit topology (irregular,
@@ -272,6 +301,14 @@ func Build(p Params) (*Runner, error) {
 // (fault-free escape VC).
 func BuildOn(g *topology.Graph, mesh *topology.Mesh, p Params) (*Runner, error) {
 	p.setDefaults()
+	if len(p.FaultSchedule) > 0 {
+		if p.Scheme == SchemeDoR {
+			return nil, fmt.Errorf("sim: dimension-order routing cannot survive link failures (no fault schedule with scheme dor)")
+		}
+		if err := ValidateFaultSchedule(g, p.FaultSchedule); err != nil {
+			return nil, fmt.Errorf("sim: %v", err)
+		}
+	}
 	cfg := noc.Config{
 		Graph:        g,
 		Mesh:         mesh,
@@ -311,7 +348,9 @@ func BuildOn(g *topology.Graph, mesh *topology.Mesh, p Params) (*Runner, error) 
 	case SchemeEscapeVC:
 		cfg.PolicyEscape = true
 		cfg.Routing = routing.AdaptiveMinimal
-		if p.Faults == 0 && mesh != nil && g == mesh.Graph {
+		// XY escape is only legal on a fault-free mesh; a fault schedule
+		// breaks that mid-run, so such runs use up*/down* from cycle 0.
+		if p.Faults == 0 && len(p.FaultSchedule) == 0 && mesh != nil && g == mesh.Graph {
 			cfg.EscapeRouting = routing.XY // DoR is legal fault-free
 		} else {
 			cfg.EscapeRouting = routing.UpDown
@@ -330,7 +369,7 @@ func BuildOn(g *topology.Graph, mesh *topology.Mesh, p Params) (*Runner, error) 
 	if err != nil {
 		return nil, err
 	}
-	r := &Runner{Params: p, Mesh: mesh, Graph: g, Net: net}
+	r := &Runner{Params: p, Mesh: mesh, Graph: g, Net: net, active: g}
 	switch p.Scheme {
 	case SchemeDRAIN:
 		ctl, err := core.New(net, core.Config{

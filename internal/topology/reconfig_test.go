@@ -1,0 +1,136 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// graphsIdentical compares every derived structure, not just the edge
+// set: runtime reconfiguration depends on remove/restore round-trips
+// reproducing adjacency order and dense link IDs byte-for-byte.
+func graphsIdentical(a, b *Graph) bool {
+	return a.n == b.n &&
+		reflect.DeepEqual(a.edges, b.edges) &&
+		reflect.DeepEqual(a.links, b.links) &&
+		reflect.DeepEqual(a.adj, b.adj) &&
+		reflect.DeepEqual(a.lidx, b.lidx)
+}
+
+// testGraphs returns the topology classes the round-trip properties run
+// over: meshes, a chiplet composition, and random regular graphs.
+func testGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	chiplet, err := NewChiplet(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRandomRegular(16, 3, testRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Graph{
+		"mesh4x4":    MustMesh(4, 4).Graph,
+		"mesh8x3":    MustMesh(8, 3).Graph,
+		"chiplet":    chiplet,
+		"random3reg": rr,
+	}
+}
+
+// A single remove/restore round-trip must reproduce the original graph
+// byte-for-byte, for every removable edge.
+func TestWithEdgeRoundTripIdentity(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, e := range RemovableEdges(g) {
+				removed, err := g.WithoutEdge(e.A, e.B)
+				if err != nil {
+					t.Fatalf("remove %v: %v", e, err)
+				}
+				if !removed.Connected() {
+					t.Fatalf("removing removable edge %v disconnected the graph", e)
+				}
+				restored, err := removed.WithEdge(e.A, e.B)
+				if err != nil {
+					t.Fatalf("restore %v: %v", e, err)
+				}
+				if !graphsIdentical(g, restored) {
+					t.Fatalf("round-trip over %v did not reproduce the graph", e)
+				}
+			}
+		})
+	}
+}
+
+// Repeated random remove/restore sequences — with several edges down at
+// once and restores interleaved in arbitrary order — must keep every
+// intermediate graph connected and end byte-identical to the start.
+func TestRemoveRestoreSequencesPreserveGraph(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				rng := testRNG(uint64(trial)*2654435761 + 17)
+				cur := g.Clone()
+				var down []Edge
+				for step := 0; step < 24; step++ {
+					// Bias toward removal while few edges are down, so the
+					// walk actually reaches multi-fault states.
+					if len(down) == 0 || (len(down) < 4 && rng.IntN(2) == 0) {
+						cands := RemovableEdges(cur)
+						if len(cands) == 0 {
+							continue
+						}
+						e := cands[rng.IntN(len(cands))]
+						next, err := cur.WithoutEdge(e.A, e.B)
+						if err != nil {
+							t.Fatalf("trial %d step %d remove %v: %v", trial, step, e, err)
+						}
+						cur = next
+						down = append(down, e)
+					} else {
+						i := rng.IntN(len(down))
+						e := down[i]
+						down = append(down[:i], down[i+1:]...)
+						next, err := cur.WithEdge(e.A, e.B)
+						if err != nil {
+							t.Fatalf("trial %d step %d restore %v: %v", trial, step, e, err)
+						}
+						cur = next
+					}
+					if !cur.Connected() {
+						t.Fatalf("trial %d step %d: graph disconnected with %d edges down", trial, step, len(down))
+					}
+				}
+				// Restore the stragglers in random order.
+				rng.Shuffle(len(down), func(i, j int) { down[i], down[j] = down[j], down[i] })
+				for _, e := range down {
+					next, err := cur.WithEdge(e.A, e.B)
+					if err != nil {
+						t.Fatalf("trial %d final restore %v: %v", trial, e, err)
+					}
+					cur = next
+				}
+				if !graphsIdentical(g, cur) {
+					t.Fatalf("trial %d: remove/restore sequence did not reproduce the graph", trial)
+				}
+			}
+		})
+	}
+}
+
+// WithEdge must reject edges that are already present and ranges New
+// would reject.
+func TestWithEdgeRejects(t *testing.T) {
+	g := MustMesh(3, 3)
+	if _, err := g.WithEdge(0, 1); err == nil {
+		t.Error("WithEdge accepted an existing edge")
+	}
+	if _, err := g.WithEdge(1, 0); err == nil {
+		t.Error("WithEdge accepted an existing edge (reversed)")
+	}
+	if _, err := g.WithEdge(0, 99); err == nil {
+		t.Error("WithEdge accepted an out-of-range router")
+	}
+	if _, err := g.WithEdge(4, 4); err == nil {
+		t.Error("WithEdge accepted a self-loop")
+	}
+}

@@ -181,6 +181,24 @@ func (g *Graph) WithoutEdge(a, b int) (*Graph, error) {
 	return New(g.n, edges)
 }
 
+// WithEdge returns a copy of g with the bidirectional edge a-b restored.
+// Because New canonicalizes edge order and rebuild derives every other
+// structure from the sorted edge list, removing an edge with WithoutEdge
+// and restoring it with WithEdge reproduces the original graph
+// byte-for-byte (adjacency, edge order and link IDs included).
+func (g *Graph) WithEdge(a, b int) (*Graph, error) {
+	if a > b {
+		a, b = b, a
+	}
+	if g.HasEdge(a, b) {
+		return nil, fmt.Errorf("topology: edge %d-%d already present", a, b)
+	}
+	edges := make([]Edge, 0, len(g.edges)+1)
+	edges = append(edges, g.edges...)
+	edges = append(edges, Edge{A: a, B: b})
+	return New(g.n, edges)
+}
+
 // Connected reports whether every router can reach every other router.
 func (g *Graph) Connected() bool {
 	if g.n == 0 {
@@ -295,6 +313,11 @@ func RemoveRandomLinks(g *Graph, k int, rng *rand.Rand) (*Graph, error) {
 	}
 	return cur, nil
 }
+
+// RemovableEdges lists edges whose removal keeps the graph connected, in
+// canonical edge order. Runtime fault schedules use it to pick failure
+// candidates that never partition the network.
+func RemovableEdges(g *Graph) []Edge { return removableEdges(g) }
 
 // removableEdges lists edges whose removal keeps the graph connected.
 func removableEdges(g *Graph) []Edge {
