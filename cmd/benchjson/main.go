@@ -4,8 +4,10 @@
 // reported metric (ns/op, ns/cycle, cycles/sec, B/op, allocs/op, ...);
 // for BenchmarkStep's load-point sub-benchmarks it pairs the event- and
 // dense-engine variants and computes the event-core speedup at each
-// load point, and for BenchmarkStepSharded's shards=N variants it
-// computes each shard count's speedup over the serial shards=1 run.
+// load point, for BenchmarkStepSharded's shards=N variants it computes
+// each shard count's speedup over the serial shards=1 run, and for
+// rng=exact/rng=counter variant pairs (BenchmarkStepRNG,
+// BenchmarkFig11RNG) it computes the counter-mode speedup over exact.
 //
 // The output document is an append-only `history` array keyed by git
 // SHA + date: if -out already exists, the new entry is appended (or
@@ -53,14 +55,28 @@ type ShardPoint struct {
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 }
 
+// RNGComparison pairs the exact- and counter-mode variants of one
+// benchmark. The unit records what was compared: ns/cycle for steady-
+// state loops (BenchmarkStepRNG), ns/op for whole-experiment runs
+// (BenchmarkFig11RNG).
+type RNGComparison struct {
+	ExactNs float64 `json:"exact_ns"`
+	FastNs  float64 `json:"fast_ns"`
+	Unit    string  `json:"unit"`
+	// Speedup is exact/counter wall clock: >1 means the counter mode is
+	// faster at this point.
+	Speedup float64 `json:"speedup"`
+}
+
 // Entry is one benchmark run, keyed by the commit it measured.
 type Entry struct {
-	SHA             string                  `json:"sha,omitempty"`
-	Date            string                  `json:"date,omitempty"`
-	Benchmarks      []Benchmark             `json:"benchmarks"`
-	EventVsDense    map[string]Comparison   `json:"event_vs_dense,omitempty"`
-	ParallelScaling map[string][]ShardPoint `json:"parallel_scaling,omitempty"`
-	Notes           []string                `json:"notes,omitempty"`
+	SHA             string                   `json:"sha,omitempty"`
+	Date            string                   `json:"date,omitempty"`
+	Benchmarks      []Benchmark              `json:"benchmarks"`
+	EventVsDense    map[string]Comparison    `json:"event_vs_dense,omitempty"`
+	ParallelScaling map[string][]ShardPoint  `json:"parallel_scaling,omitempty"`
+	FastVsExact     map[string]RNGComparison `json:"fast_vs_exact,omitempty"`
+	Notes           []string                 `json:"notes,omitempty"`
 }
 
 // Output is the BENCH_noc.json document: every recorded run, oldest
@@ -191,6 +207,7 @@ func parse(r io.Reader) (*Entry, error) {
 	}
 	e.EventVsDense = compare(e.Benchmarks)
 	e.ParallelScaling = compareShards(e.Benchmarks)
+	e.FastVsExact = compareRNG(e.Benchmarks)
 	return e, nil
 }
 
@@ -230,6 +247,61 @@ func compare(bs []Benchmark) map[string]Comparison {
 			DenseNsPerCycle: p.dense,
 			EventNsPerCycle: p.event,
 			Speedup:         p.dense / p.event,
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// compareRNG pairs ".../rng=exact" and ".../rng=counter" variants that
+// share a parent name. Steady-state pairs compare on ns/cycle; whole-
+// experiment pairs (no ns/cycle metric) fall back to ns/op. A pair
+// whose variants report different units is dropped rather than
+// compared across units.
+func compareRNG(bs []Benchmark) map[string]RNGComparison {
+	type point struct {
+		v    float64
+		unit string
+	}
+	type pair struct{ exact, counter point }
+	pairs := map[string]*pair{}
+	for _, b := range bs {
+		i := strings.LastIndexByte(b.Name, '/')
+		if i < 0 || !strings.HasPrefix(b.Name[i+1:], "rng=") {
+			continue
+		}
+		pt := point{unit: "ns/cycle"}
+		var ok bool
+		if pt.v, ok = b.Metrics["ns/cycle"]; !ok {
+			pt.unit = "ns/op"
+			if pt.v, ok = b.Metrics["ns/op"]; !ok {
+				continue
+			}
+		}
+		p := pairs[b.Name[:i]]
+		if p == nil {
+			p = &pair{}
+			pairs[b.Name[:i]] = p
+		}
+		switch b.Name[i+1+len("rng="):] {
+		case "exact":
+			p.exact = pt
+		case "counter":
+			p.counter = pt
+		}
+	}
+	out := map[string]RNGComparison{}
+	for parent, p := range pairs {
+		if p.exact.v <= 0 || p.counter.v <= 0 || p.exact.unit != p.counter.unit {
+			continue
+		}
+		out[parent] = RNGComparison{
+			ExactNs: p.exact.v,
+			FastNs:  p.counter.v,
+			Unit:    p.exact.unit,
+			Speedup: p.exact.v / p.counter.v,
 		}
 	}
 	if len(out) == 0 {

@@ -92,6 +92,34 @@ func TestParseShardScaling(t *testing.T) {
 	}
 }
 
+const rngSample = `BenchmarkStepRNG/LowLoad/rng=exact-8   	     200	    400000 ns/op	      2000 ns/cycle	    500000 cycles/sec
+BenchmarkStepRNG/LowLoad/rng=counter-8 	     800	    100000 ns/op	       500 ns/cycle	   2000000 cycles/sec
+BenchmarkFig11RNG/rng=exact-8          	       2	 600000000 ns/op	        12 rows
+BenchmarkFig11RNG/rng=counter-8        	       6	 200000000 ns/op	        12 rows
+BenchmarkStepRNG/Orphan/rng=counter-8  	     100	    300000 ns/op	      1500 ns/cycle
+PASS
+`
+
+func TestParseRNGComparison(t *testing.T) {
+	doc, err := parse(strings.NewReader(rngSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.FastVsExact) != 2 {
+		t.Fatalf("fast_vs_exact = %v, want the LowLoad and Fig11 pairs (no Orphan)", doc.FastVsExact)
+	}
+	low := doc.FastVsExact["BenchmarkStepRNG/LowLoad"]
+	// Steady-state pairs compare on ns/cycle, not ns/op.
+	if low.Unit != "ns/cycle" || low.ExactNs != 2000 || low.FastNs != 500 || low.Speedup != 4 {
+		t.Errorf("LowLoad comparison = %+v", low)
+	}
+	fig := doc.FastVsExact["BenchmarkFig11RNG"]
+	// Whole-experiment pairs have no ns/cycle and fall back to ns/op.
+	if fig.Unit != "ns/op" || fig.ExactNs != 600000000 || fig.FastNs != 200000000 || fig.Speedup != 3 {
+		t.Errorf("Fig11 comparison = %+v", fig)
+	}
+}
+
 func TestParseIgnoresGarbage(t *testing.T) {
 	doc, err := parse(strings.NewReader("hello\nBenchmarkX notanumber 5 ns/op\n\n"))
 	if err != nil {

@@ -25,3 +25,24 @@ func (n *Network) noteCycles(k int64) {
 		n.cyclesPending = 0
 	}
 }
+
+// simFFCycles counts the subset of simulated cycles covered by idle
+// fast-forward (SkipIdle) rather than stepped, process-wide. Together
+// with SimulatedCycles it makes the skipped-idle fraction observable
+// per deployment — whether the fast-forward machinery ever fires on
+// production traffic, not just in benchmarks.
+var simFFCycles atomic.Int64
+
+// SimFastForwardCycles returns the total number of cycles all Networks
+// process-wide covered via idle fast-forward (modulo per-Network
+// unflushed remainders of less than cycleFlushEvery cycles).
+func SimFastForwardCycles() int64 { return simFFCycles.Load() }
+
+// noteFFCycles credits k fast-forwarded cycles, batched like noteCycles.
+func (n *Network) noteFFCycles(k int64) {
+	n.ffPending += k
+	if n.ffPending >= cycleFlushEvery {
+		simFFCycles.Add(n.ffPending)
+		n.ffPending = 0
+	}
+}

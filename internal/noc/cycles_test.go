@@ -1,0 +1,26 @@
+package noc
+
+import "testing"
+
+// TestFastForwardCounter: SkipIdle credits the skipped window to the
+// process-wide fast-forward counter (the /metrics observability for
+// whether the machinery ever fires), while stepped cycles do not.
+func TestFastForwardCounter(t *testing.T) {
+	n := newTestNet(t, EngineEvent)
+	before := SimFastForwardCycles()
+	for i := 0; i < 10; i++ {
+		n.Step()
+	}
+	// Stepping must not count as fast-forwarding.
+	if got := SimFastForwardCycles(); got != before {
+		t.Fatalf("Step moved the fast-forward counter: %d -> %d", before, got)
+	}
+	const skip = 5000 // > cycleFlushEvery, so the batch flushes
+	n.SkipIdle(skip)
+	if got := SimFastForwardCycles(); got < before+skip {
+		t.Fatalf("SkipIdle(%d): counter %d -> %d, want >= %d", skip, before, got, before+skip)
+	}
+	if c := n.Cycle(); c != 10+skip {
+		t.Fatalf("cycle = %d, want %d", c, 10+skip)
+	}
+}

@@ -67,9 +67,10 @@ type Network struct {
 	ejDirty     []bool
 	ejDirtyList []int32
 
-	// cyclesPending batches ticks bound for the process-wide simulated-
-	// cycle counter (see cycles.go).
+	// cyclesPending/ffPending batch ticks bound for the process-wide
+	// simulated-cycle and fast-forwarded-cycle counters (see cycles.go).
 	cyclesPending int64
+	ffPending     int64
 
 	inLinks  [][]int // link IDs ending at each router
 	outLinks [][]int // link IDs starting at each router
@@ -255,6 +256,7 @@ func (n *Network) SkipIdle(k int64) {
 		return
 	}
 	n.eng.skipIdle(n, k)
+	n.noteFFCycles(k)
 }
 
 // NewPacket allocates a packet with position/IDs initialized; the caller

@@ -267,6 +267,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"drainserved_sim_parallel_shards 4",
 		"drainserved_sim_cycles_total ",
 		"drainserved_sim_cycles_per_second ",
+		"drainserved_sim_fastforward_cycles_total ",
+		"drainserved_sim_fastforward_fraction ",
 		"drainserved_job_latency_ms_count 1",
 		"drainserved_job_latency_ms_p50 ",
 		"drainserved_job_latency_ms_p99 ",

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// This file provides the hypothesis tests behind the RNG-mode
+// equivalence suite: the counter-based generator (traffic.RNGCounter)
+// promises the same injection *statistics* as exact mode, not the same
+// draws, so its validation is statistical — chi-square on per-node
+// injection counts, a two-proportion z-test on totals, and a
+// Kolmogorov–Smirnov test on latency samples. All tests here are pure
+// functions of their inputs; with the deterministic seeds the suite
+// uses, a pass is a pass on every machine.
+
+// ChiSquare returns Pearson's statistic sum((obs-exp)^2/exp) over the
+// cells with positive expectation. Cells with exp <= 0 are skipped (an
+// impossible cell that was in fact observed would otherwise divide by
+// zero; callers choose binnings where that cannot happen).
+func ChiSquare(obs, exp []float64) float64 {
+	s := 0.0
+	for i := range obs {
+		if i >= len(exp) || exp[i] <= 0 {
+			continue
+		}
+		d := obs[i] - exp[i]
+		s += d * d / exp[i]
+	}
+	return s
+}
+
+// ChiSquareCritical returns the upper critical value of the chi-square
+// distribution with df degrees of freedom at significance alpha (e.g.
+// 0.001): the value exceeded with probability alpha under the null.
+// It uses the Wilson–Hilferty cube approximation — chi2/df is
+// approximately Normal(1-2/(9df), 2/(9df)) cubed — which is accurate
+// to a fraction of a percent for df >= 3, plenty for test thresholds.
+func ChiSquareCritical(df int, alpha float64) float64 {
+	if df <= 0 {
+		return 0
+	}
+	z := NormalQuantile(1 - alpha)
+	d := float64(df)
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// NormalQuantile returns the standard normal quantile Phi^-1(p) for
+// p in (0,1), via the exact identity with the inverse error function.
+func NormalQuantile(p float64) float64 {
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// TwoProportionZ returns the pooled two-proportion z statistic for
+// observing k1 successes in n1 trials vs k2 in n2: the standard test
+// that two Bernoulli processes share a rate. |z| above the
+// NormalQuantile(1-alpha/2) threshold rejects equality at level alpha.
+func TwoProportionZ(k1, n1, k2, n2 int64) float64 {
+	if n1 <= 0 || n2 <= 0 {
+		return 0
+	}
+	p1 := float64(k1) / float64(n1)
+	p2 := float64(k2) / float64(n2)
+	pool := float64(k1+k2) / float64(n1+n2)
+	se := math.Sqrt(pool * (1 - pool) * (1/float64(n1) + 1/float64(n2)))
+	if se == 0 {
+		return 0
+	}
+	return (p1 - p2) / se
+}
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic: the
+// maximum vertical distance between the empirical CDFs of a and b.
+// The inputs need not be sorted (they are copied and sorted here); ties
+// within and across samples are handled by advancing both CDFs past the
+// tied value before measuring the gap. Returns 0 if either is empty.
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	na, nb := float64(len(as)), float64(len(bs))
+	var i, j int
+	d := 0.0
+	for i < len(as) && j < len(bs) {
+		v := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] == v {
+			i++
+		}
+		for j < len(bs) && bs[j] == v {
+			j++
+		}
+		if g := math.Abs(float64(i)/na - float64(j)/nb); g > d {
+			d = g
+		}
+	}
+	return d
+}
+
+// KSCritical returns the two-sample KS rejection threshold at
+// significance alpha via the asymptotic Smirnov formula
+// c(alpha)*sqrt((n1+n2)/(n1*n2)), c(alpha) = sqrt(-ln(alpha/2)/2).
+// Statistics above it reject "same distribution" at level alpha.
+func KSCritical(n1, n2 int, alpha float64) float64 {
+	if n1 <= 0 || n2 <= 0 {
+		return 0
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt(float64(n1+n2)/(float64(n1)*float64(n2)))
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNormalQuantile(t *testing.T) {
+	// Textbook values of Phi^-1.
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.999, 3.090232},
+		{0.025, -1.959964},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormalQuantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareCritical(t *testing.T) {
+	// Against standard chi-square tables; Wilson–Hilferty is good to
+	// well under 1% in this range.
+	cases := []struct {
+		df    int
+		alpha float64
+		want  float64
+	}{
+		{10, 0.05, 18.307},
+		{10, 0.001, 29.588},
+		{63, 0.001, 103.442},
+		{100, 0.05, 124.342},
+	}
+	for _, c := range cases {
+		got := ChiSquareCritical(c.df, c.alpha)
+		if math.Abs(got-c.want)/c.want > 0.01 {
+			t.Errorf("ChiSquareCritical(%d, %g) = %g, want ~%g", c.df, c.alpha, got, c.want)
+		}
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	obs := []float64{10, 20, 30}
+	exp := []float64{15, 15, 30}
+	want := 25.0/15 + 25.0/15 // (10-15)^2/15 + (20-15)^2/15 + 0
+	if got := ChiSquare(obs, exp); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ChiSquare = %g, want %g", got, want)
+	}
+	// Zero-expectation cells are skipped, not NaN.
+	if got := ChiSquare([]float64{1}, []float64{0}); got != 0 {
+		t.Errorf("ChiSquare with exp=0 cell = %g, want 0", got)
+	}
+}
+
+func TestTwoProportionZ(t *testing.T) {
+	// Identical proportions: z = 0.
+	if z := TwoProportionZ(50, 1000, 100, 2000); z != 0 {
+		t.Errorf("equal proportions: z = %g, want 0", z)
+	}
+	// Clearly different proportions produce a decisive statistic.
+	if z := TwoProportionZ(100, 1000, 200, 1000); math.Abs(z) < 5 {
+		t.Errorf("10%% vs 20%%: |z| = %g, want > 5", math.Abs(z))
+	}
+	// Symmetry.
+	if z1, z2 := TwoProportionZ(10, 100, 20, 100), TwoProportionZ(20, 100, 10, 100); z1 != -z2 {
+		t.Errorf("z not antisymmetric: %g vs %g", z1, z2)
+	}
+}
+
+func TestKSStatisticExact(t *testing.T) {
+	// Disjoint supports: D = 1.
+	if d := KSStatistic([]float64{1, 2, 3}, []float64{10, 11}); d != 1 {
+		t.Errorf("disjoint: D = %g, want 1", d)
+	}
+	// Identical samples: D = 0.
+	if d := KSStatistic([]float64{1, 2, 2, 3}, []float64{1, 2, 2, 3}); d != 0 {
+		t.Errorf("identical: D = %g, want 0", d)
+	}
+	// Hand-computed: a={1,2}, b={2,3}. After value 1: |1/2-0|=1/2;
+	// after 2: |1-1/2|=1/2; max is 1/2.
+	if d := KSStatistic([]float64{1, 2}, []float64{2, 3}); d != 0.5 {
+		t.Errorf("D = %g, want 0.5", d)
+	}
+}
+
+// TestKSSameDistribution: two independent samples from one distribution
+// stay under the alpha=0.001 threshold (deterministic seed, so this is
+// a fixed computation, not a flaky draw).
+func TestKSSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	a := make([]float64, 4000)
+	b := make([]float64, 5000)
+	for i := range a {
+		a[i] = rng.ExpFloat64()
+	}
+	for i := range b {
+		b[i] = rng.ExpFloat64()
+	}
+	d := KSStatistic(a, b)
+	crit := KSCritical(len(a), len(b), 0.001)
+	if d >= crit {
+		t.Errorf("same-distribution KS D = %g >= critical %g", d, crit)
+	}
+	// And a genuinely shifted distribution is caught.
+	for i := range b {
+		b[i] += 0.5
+	}
+	if d := KSStatistic(a, b); d < crit {
+		t.Errorf("shifted-distribution KS D = %g < critical %g (should reject)", d, crit)
+	}
+}
+
+// TestChiSquareUniformDraws: binned PCG uniforms pass at alpha=0.001
+// against the flat expectation (deterministic seed).
+func TestChiSquareUniformDraws(t *testing.T) {
+	const bins, n = 32, 64_000
+	rng := rand.New(rand.NewPCG(7, 9))
+	obs := make([]float64, bins)
+	for i := 0; i < n; i++ {
+		obs[rng.IntN(bins)]++
+	}
+	exp := make([]float64, bins)
+	for i := range exp {
+		exp[i] = float64(n) / bins
+	}
+	x2 := ChiSquare(obs, exp)
+	crit := ChiSquareCritical(bins-1, 0.001)
+	if x2 >= crit {
+		t.Errorf("uniform chi-square %g >= critical %g", x2, crit)
+	}
+}

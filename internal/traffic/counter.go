@@ -1,0 +1,235 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"drain/internal/noc"
+)
+
+// RNGMode selects the generator's draw discipline.
+//
+// RNGExact is the sequential discipline the repo's determinism oracle
+// is built on: one 53-bit PCG draw per node per cycle, in node order,
+// whether or not anything injects. Results are byte-reproducible and
+// identical across engines and fast-forward boundaries, but a quiet
+// cycle still costs N draws, which caps the idle fast-forward's payoff
+// (sim.RunSyntheticContext can skip network cycles for free, yet must
+// replay every generator draw it jumps over).
+//
+// RNGCounter replaces the per-cycle Bernoulli draws with counter-based
+// per-node streams: the gap to a node's next injection is a pure
+// function of (seed, node, cycle-of-previous-injection) via a stateless
+// SplitMix-style hash, sampled geometrically so the injection process
+// has exactly the same per-cycle Bernoulli statistics. Because the
+// stream is indexed by position instead of consumed sequentially, a
+// fast-forward over k quiet cycles costs zero draws and zero catch-up
+// work — SkipQuiet is O(1) — and a ticked cycle with no injection due
+// is a single comparison. The injection-side draws (destination, size)
+// are likewise pure functions of (seed, node, cycle). Counter mode is
+// statistically equivalent to exact mode (injection counts, latency
+// curves and saturation points match within test bounds; see
+// internal/stats and the sim rngmode tests) but draws different
+// concrete packets, so it changes results and is excluded from the
+// byte-identity oracles.
+type RNGMode int
+
+// RNG modes.
+const (
+	// RNGExact: sequential draws, byte-reproducible (the default, and
+	// the differential-fuzz oracle).
+	RNGExact RNGMode = iota
+	// RNGCounter: counter-based per-node streams, statistically
+	// equivalent and far cheaper on quiet cycles.
+	RNGCounter
+)
+
+// ParseRNGMode parses a mode name as printed by RNGMode.String. It is
+// the single source of truth for the vocabulary the cmd/drainsim flag
+// and server requests share.
+func ParseRNGMode(s string) (RNGMode, error) {
+	switch s {
+	case "", "exact":
+		return RNGExact, nil
+	case "counter":
+		return RNGCounter, nil
+	default:
+		return 0, fmt.Errorf("traffic: unknown rng mode %q (accepted modes: exact, counter)", s)
+	}
+}
+
+// String implements fmt.Stringer.
+func (m RNGMode) String() string {
+	switch m {
+	case RNGExact:
+		return "exact"
+	case RNGCounter:
+		return "counter"
+	default:
+		return fmt.Sprintf("RNGMode(%d)", int(m))
+	}
+}
+
+// Domain-separation salts for the counter streams: the gap draw and the
+// two words seeding the injection-side PCG must be independent for the
+// same (seed, node, cycle).
+const (
+	saltGap   = 0x6a09e667f3bcc909
+	saltEmitA = 0xbb67ae8584caa73b
+	saltEmitB = 0x3c6ef372fe94f82b
+)
+
+// neverGap stands in for "this node never injects" (rate <= 0). It is
+// far beyond any simulated horizon while leaving headroom against
+// int64 overflow when added to a cycle.
+const neverGap = int64(1) << 60
+
+// mix64 is the SplitMix64 finalizer: a full-avalanche bijection on
+// uint64, the standard stateless counter-to-random mapping.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// counterDraw returns the 64-bit counter-stream draw for (node, cycle)
+// under the given salt: a pure function of the generator seed and its
+// arguments, with no state consumed.
+func (g *Generator) counterDraw(node int, cycle int64, salt uint64) uint64 {
+	return mix64(g.seed ^ salt ^ mix64(uint64(node)*0x9e3779b97f4a7c15+uint64(cycle)*0xd1342543de82ef95))
+}
+
+// gapAfter samples the gap (>= 1 cycles) from cycle to node's next
+// injection, geometrically with parameter Rate, from the counter stream
+// at (node, cycle). A geometric gap makes the injection process
+// marginally identical to exact mode's independent Bernoulli(Rate)
+// trial per cycle: P(gap = k) = (1-Rate)^(k-1) * Rate.
+func (g *Generator) gapAfter(node int, cycle int64) int64 {
+	switch {
+	case g.rateThresh == 0: // Rate <= 0: never fires
+		return neverGap
+	case g.rateThresh >= 1<<53: // Rate >= 1: fires every cycle
+		return 1
+	}
+	// u in (0,1]: the +1 keeps log finite at a zero draw.
+	u := float64(g.counterDraw(node, cycle, saltGap)&mask53+1) * (1.0 / (1 << 53))
+	lg := math.Log(u) * g.invLog1mRate
+	if lg >= float64(neverGap) {
+		return neverGap
+	}
+	gap := int64(lg) + 1
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+// heapLess orders the schedule heap by (fire cycle, node): same-cycle
+// firings pop in ascending node order, the order exact mode's per-node
+// scan injects in.
+func (g *Generator) heapLess(a, b int32) bool {
+	fa, fb := g.fireAt[a], g.fireAt[b]
+	return fa < fb || (fa == fb && a < b)
+}
+
+// siftDown restores the heap property from index i.
+func (g *Generator) siftDown(i int) {
+	h := g.fheap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && g.heapLess(h[r], h[l]) {
+			m = r
+		}
+		if !g.heapLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// reschedule replaces the heap top's fire cycle with its next one (the
+// counter-stream gap after the cycle that just fired) and restores the
+// heap. This plus SkipQuiet is the whole per-cycle cost of counter
+// mode: one reschedule per injection, one comparison per quiet cycle.
+func (g *Generator) reschedule(cycle int64) {
+	top := g.fheap[0]
+	g.fireAt[top] = cycle + g.gapAfter(int(top), cycle)
+	g.siftDown(0)
+}
+
+// refreshCounter recomputes the rate-derived constants and rebuilds the
+// whole injection schedule from the generator's current position. It
+// runs at construction and again if Rate is reassigned mid-run (the
+// schedule drawn under the old rate would be stale).
+func (g *Generator) refreshCounter() {
+	g.refreshThresh()
+	if g.Rate > 0 && g.Rate < 1 {
+		g.invLog1mRate = 1 / math.Log1p(-g.Rate)
+	} else {
+		g.invLog1mRate = 0
+	}
+	base := g.ctrCycle - 1
+	for n := range g.fireAt {
+		g.fireAt[n] = base + g.gapAfter(n, base)
+	}
+	for i := len(g.fheap)/2 - 1; i >= 0; i-- {
+		g.siftDown(i)
+	}
+}
+
+// tickCounter is Tick's counter-mode body: advance the local clock one
+// cycle and emit every node whose scheduled fire cycle is due. Cycles
+// with nothing due cost a single heap-top comparison.
+func (g *Generator) tickCounter(n *noc.Network) {
+	if g.Rate != g.rateCached {
+		g.refreshCounter()
+	}
+	c := g.ctrCycle
+	g.ctrCycle++
+	for len(g.fheap) > 0 && g.fireAt[g.fheap[0]] <= c {
+		src := int(g.fheap[0])
+		// Destination and size draws are pure functions of
+		// (seed, node, cycle): reseed the PCG from the counter stream so
+		// emit's draw order and effects match exact mode's exactly.
+		g.src.Seed(g.counterDraw(src, c, saltEmitA), g.counterDraw(src, c, saltEmitB))
+		g.emit(n, src)
+		g.reschedule(c)
+	}
+}
+
+// skipQuietCounter is SkipQuiet's counter-mode body: the next fire
+// cycle is already known, so the skip is a clock adjustment — O(1), no
+// draws, no catch-up. Position independence (segmented runs with
+// arbitrary skip boundaries inject identically to a run ticked every
+// cycle) holds because the schedule is indexed by cycle, not consumed
+// per cycle; exact mode can never satisfy that invariant.
+func (g *Generator) skipQuietCounter(max int64) int64 {
+	if max <= 0 {
+		return 0
+	}
+	if g.Rate != g.rateCached {
+		g.refreshCounter()
+	}
+	if len(g.fheap) == 0 {
+		g.ctrCycle += max
+		return max
+	}
+	k := g.fireAt[g.fheap[0]] - g.ctrCycle
+	if k <= 0 {
+		return 0
+	}
+	if k > max {
+		k = max
+	}
+	g.ctrCycle += k
+	return k
+}

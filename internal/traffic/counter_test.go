@@ -1,0 +1,265 @@
+package traffic
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"drain/internal/noc"
+	"drain/internal/routing"
+	"drain/internal/stats"
+	"drain/internal/topology"
+)
+
+func TestParseRNGMode(t *testing.T) {
+	for _, m := range []RNGMode{RNGExact, RNGCounter} {
+		got, err := ParseRNGMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("round trip %v: got %v, err %v", m, got, err)
+		}
+	}
+	if got, err := ParseRNGMode(""); err != nil || got != RNGExact {
+		t.Errorf("empty string: got %v, err %v (want exact default)", got, err)
+	}
+	_, err := ParseRNGMode("fast")
+	if err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	// The error must teach the accepted vocabulary.
+	for _, want := range []string{"fast", "exact", "counter"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestNewGeneratorModeExactIsNewGenerator: RNGExact through the mode
+// constructor is the plain constructor — same draws, same injections.
+func TestNewGeneratorModeExactIsNewGenerator(t *testing.T) {
+	a := NewGenerator(UniformRandom{N: 16}, 0.1, 5)
+	b := NewGeneratorMode(UniformRandom{N: 16}, 0.1, 5, RNGExact, 16)
+	if b.Mode() != RNGExact {
+		t.Fatalf("mode = %v", b.Mode())
+	}
+	for i := 0; i < 100; i++ {
+		if x, y := a.rng.Uint64(), b.rng.Uint64(); x != y {
+			t.Fatalf("draw %d diverges", i)
+		}
+	}
+}
+
+// TestCounterPositionIndependence is the property exact mode can never
+// satisfy, stated as a test: a counter-mode generator driven over
+// cycles [0,N) in one shot (ticked every cycle) and a twin driven
+// through arbitrary fast-forward boundaries — random SkipQuiet windows
+// interleaved with resumed ticks — make identical injections in
+// identical cycles, leaving twin networks in identical states.
+func TestCounterPositionIndependence(t *testing.T) {
+	m := topology.MustMesh(4, 4)
+	build := func() *noc.Network {
+		n, err := noc.New(noc.Config{
+			Graph: m.Graph, Mesh: m, Routing: routing.XY,
+			VNets: 1, VCsPerVN: 2, Classes: 1, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	for _, rate := range []float64{0.003, 0.02, 0.3} {
+		nT, nS := build(), build()
+		gT := NewGeneratorMode(UniformRandom{N: 16}, rate, 5, RNGCounter, 16)
+		gS := NewGeneratorMode(UniformRandom{N: 16}, rate, 5, RNGCounter, 16)
+		wrng := rng(77)
+		step := func(n *noc.Network) {
+			n.Step()
+			n.DiscardEjected()
+		}
+		cyc := 0
+		for cyc < 4000 {
+			w := int64(1 + wrng.IntN(50))
+			k := gS.SkipQuiet(16, w)
+			if k > 0 && nS.NextWorkCycle() > nS.Cycle()+k {
+				nS.SkipIdle(k)
+			} else {
+				for i := int64(0); i < k; i++ {
+					step(nS)
+				}
+			}
+			// The one-shot twin ticks through the skipped window; none of
+			// those cycles may attempt an injection.
+			for i := int64(0); i < k; i++ {
+				before := gT.Created + gT.Skipped
+				gT.Tick(nT)
+				if gT.Created+gT.Skipped != before {
+					t.Fatalf("rate=%v cycle %d: SkipQuiet skipped an injecting cycle", rate, cyc+int(i))
+				}
+				step(nT)
+			}
+			cyc += int(k)
+			if k == w {
+				continue
+			}
+			// Window ended early: the next cycle has an injection due.
+			// Both sides tick it; the segmented side must inject now.
+			before := gS.Created + gS.Skipped
+			gS.Tick(nS)
+			if gS.Created+gS.Skipped == before {
+				t.Fatalf("rate=%v cycle %d: SkipQuiet stopped early on a quiet cycle", rate, cyc)
+			}
+			step(nS)
+			gT.Tick(nT)
+			step(nT)
+			cyc++
+		}
+		if gT.Created != gS.Created || gT.Skipped != gS.Skipped {
+			t.Fatalf("rate=%v: one-shot created/skipped %d/%d, segmented %d/%d",
+				rate, gT.Created, gT.Skipped, gS.Created, gS.Skipped)
+		}
+		if gT.ctrCycle != gS.ctrCycle {
+			t.Fatalf("rate=%v: generator clocks diverge: %d vs %d", rate, gT.ctrCycle, gS.ctrCycle)
+		}
+		// Identical injections leave byte-identical network counters
+		// (creation cycles, routes, buffer traffic — everything).
+		if !reflect.DeepEqual(nT.Counters, nS.Counters) {
+			t.Fatalf("rate=%v: network counters diverge:\none-shot:  %+v\nsegmented: %+v",
+				rate, nT.Counters, nS.Counters)
+		}
+		// And the future schedule is position-independent too.
+		if !reflect.DeepEqual(gT.fireAt, gS.fireAt) {
+			t.Fatalf("rate=%v: schedules diverge", rate)
+		}
+	}
+}
+
+// TestCounterGapDistribution pins the geometric sampling against the
+// exact-mode Bernoulli contract at the distribution level: gaps drawn
+// across many (node, cycle) stream positions must follow
+// P(gap=k) = (1-p)^(k-1) p, chi-square tested at alpha=0.001
+// (deterministic seed: this is a fixed computation).
+func TestCounterGapDistribution(t *testing.T) {
+	const p = 0.1
+	g := NewGeneratorMode(UniformRandom{N: 4}, p, 123, RNGCounter, 4)
+	const draws = 200_000
+	// Bins: gap=1..40, then a tail bin.
+	const bins = 41
+	obs := make([]float64, bins)
+	for i := 0; i < draws; i++ {
+		gap := g.gapAfter(i%97, int64(i))
+		if gap < 1 {
+			t.Fatalf("gap %d < 1", gap)
+		}
+		if gap >= bins {
+			obs[bins-1]++
+		} else {
+			obs[gap-1]++
+		}
+	}
+	exp := make([]float64, bins)
+	tail := 1.0
+	for k := 1; k < bins; k++ {
+		pk := math.Pow(1-p, float64(k-1)) * p
+		exp[k-1] = pk * draws
+		tail -= pk
+	}
+	exp[bins-1] = tail * draws
+	x2 := stats.ChiSquare(obs, exp)
+	crit := stats.ChiSquareCritical(bins-1, 0.001)
+	if x2 >= crit {
+		t.Errorf("gap distribution chi-square %g >= critical %g", x2, crit)
+	}
+}
+
+// TestCounterPerNodeInjectionCounts: over a long unbounded-queue run,
+// every node's injection count matches the Bernoulli expectation
+// (chi-square across nodes), and the grand total matches an exact-mode
+// twin by a two-proportion z-test — the injection process is
+// statistically the same, only the draws differ.
+func TestCounterPerNodeInjectionCounts(t *testing.T) {
+	const (
+		nodes  = 16
+		cycles = 20_000
+		rate   = 0.05
+	)
+	m := topology.MustMesh(4, 4)
+	run := func(mode RNGMode, seed uint64) (*Generator, []float64) {
+		n, err := noc.New(noc.Config{
+			Graph: m.Graph, Mesh: m, Routing: routing.XY,
+			VNets: 1, VCsPerVN: 2, Classes: 1, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGeneratorMode(UniformRandom{N: nodes}, rate, seed, mode, nodes)
+		g.InjQueueCap = 0 // unbounded: count raw injections, never step
+		for c := 0; c < cycles; c++ {
+			g.Tick(n)
+		}
+		per := make([]float64, nodes)
+		for r := 0; r < nodes; r++ {
+			per[r] = float64(n.InjQueueLen(r, 0))
+		}
+		return g, per
+	}
+	gC, perC := run(RNGCounter, 7)
+	gE, _ := run(RNGExact, 7)
+
+	exp := make([]float64, nodes)
+	for i := range exp {
+		exp[i] = rate * cycles
+	}
+	x2 := stats.ChiSquare(perC, exp)
+	crit := stats.ChiSquareCritical(nodes, 0.001)
+	if x2 >= crit {
+		t.Errorf("per-node injection chi-square %g >= critical %g (counts %v)", x2, crit, perC)
+	}
+	// Same offered rate as exact mode, by z-test on the totals.
+	trials := int64(nodes * cycles)
+	z := stats.TwoProportionZ(gC.Created, trials, gE.Created, trials)
+	if zcrit := stats.NormalQuantile(1 - 0.001/2); math.Abs(z) >= zcrit {
+		t.Errorf("counter vs exact created totals: |z| = %g >= %g (counter %d, exact %d)",
+			math.Abs(z), zcrit, gC.Created, gE.Created)
+	}
+}
+
+// TestCounterRateChangeRebuildsSchedule: reassigning Rate mid-run takes
+// effect (the stale schedule is rebuilt) — turning the rate to zero
+// silences the generator; restoring it resumes injections.
+func TestCounterRateChangeRebuildsSchedule(t *testing.T) {
+	m := topology.MustMesh(4, 4)
+	n, err := noc.New(noc.Config{
+		Graph: m.Graph, Mesh: m, Routing: routing.XY,
+		VNets: 1, VCsPerVN: 2, Classes: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGeneratorMode(UniformRandom{N: 16}, 0.3, 7, RNGCounter, 16)
+	g.InjQueueCap = 0
+	for c := 0; c < 200; c++ {
+		g.Tick(n)
+	}
+	if g.Created == 0 {
+		t.Fatal("no injections at rate 0.3")
+	}
+	mark := g.Created
+	g.Rate = 0
+	for c := 0; c < 200; c++ {
+		g.Tick(n)
+	}
+	if g.Created != mark {
+		t.Fatalf("injected %d packets at rate 0", g.Created-mark)
+	}
+	// A zero-rate generator skips any window whole.
+	if k := g.SkipQuiet(16, 1000); k != 1000 {
+		t.Fatalf("zero-rate SkipQuiet = %d, want 1000", k)
+	}
+	g.Rate = 0.3
+	for c := 0; c < 200; c++ {
+		g.Tick(n)
+	}
+	if g.Created == mark {
+		t.Fatal("no injections after rate restored")
+	}
+}
