@@ -16,8 +16,10 @@ build:
 vet:
 	$(GO) vet ./...
 
-## lint: the repo's own static analyzers (maprange, nondet, hotalloc,
-## ctxflow) over the whole module; see internal/lint and DESIGN.md.
+## lint: the repo's own static analyzers over the whole module — the
+## syntactic four (maprange, nondet, hotalloc, ctxflow) plus the
+## dataflow four (shardsafe, serialrng, keycomplete, escapecheck); see
+## internal/lint and DESIGN.md §10/§13.
 lint:
 	$(GO) run ./cmd/drainvet ./...
 

@@ -1,7 +1,8 @@
 // Command drainvet runs the simulator's custom static analysis (see
-// internal/lint): four analyzers that enforce the determinism, hot-path
-// allocation, and cancellation invariants the DRAIN evaluation depends
-// on. It is wired into `make check` and CI; a finding fails the build.
+// internal/lint): eight analyzers that enforce the determinism,
+// hot-path allocation, cancellation, parallel-engine and cache-key
+// invariants the DRAIN evaluation depends on. It is wired into
+// `make check` and CI; a finding fails the build.
 //
 // Usage:
 //
@@ -10,6 +11,18 @@
 // Packages default to ./... . Findings print as
 //
 //	file:line: [analyzer] message
+//
+// With -json the output is a stable envelope consumed by the CI
+// artifact upload:
+//
+//	{"schema": "drainvet/2", "findings": [...]}
+//
+// Findings are sorted by (file, line, column, analyzer, message) and
+// their file paths are relative to the resolved working directory (the
+// -C argument) whenever they fall under it, so the report is
+// byte-reproducible across checkouts. The schema field versions the
+// shape: consumers reject reports they do not understand instead of
+// misparsing them.
 //
 // Exit status: 0 clean, 1 findings, 2 operational error.
 package main
@@ -20,10 +33,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"drain/internal/lint"
 )
+
+// jsonSchema identifies the -json output shape. Bump it when the
+// envelope or the per-finding fields change incompatibly.
+const jsonSchema = "drainvet/2"
+
+// report is the -json envelope.
+type report struct {
+	Schema   string         `json:"schema"`
+	Findings []lint.Finding `json:"findings"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -75,12 +99,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	findings := lint.Analyze(cfg, pkgs, names...)
 	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
 		if findings == nil {
 			findings = []lint.Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
+		relativizeFindings(*dir, findings)
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{Schema: jsonSchema, Findings: findings}); err != nil {
 			fmt.Fprintf(stderr, "drainvet: %v\n", err)
 			return 2
 		}
@@ -94,6 +119,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// relativizeFindings rewrites finding paths relative to the resolved
+// working directory (slash-separated) so the JSON report does not bake
+// in the absolute checkout path. Paths outside dir — and the synthetic
+// "go build" pseudo-file escapecheck uses for build failures — are left
+// alone.
+func relativizeFindings(dir string, findings []lint.Finding) {
+	if dir == "" {
+		dir = "."
+	}
+	base, err := filepath.Abs(dir)
+	if err != nil {
+		return
+	}
+	for i, f := range findings {
+		if !filepath.IsAbs(f.File) {
+			continue
+		}
+		rel, err := filepath.Rel(base, f.File)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		findings[i].File = filepath.ToSlash(rel)
+	}
 }
 
 func splitList(s string) []string {

@@ -3,11 +3,19 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 const fixtureDir = "../../internal/lint/testdata/src/nondet"
+
+// update regenerates the golden JSON report:
+//
+//	go test ./cmd/drainvet -run TestRunJSONGolden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
 
 func TestRunReportsFixtureFindings(t *testing.T) {
 	var stdout, stderr bytes.Buffer
@@ -30,15 +38,54 @@ func TestRunJSON(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
 	}
-	var findings []map[string]any
-	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
-		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	var rep struct {
+		Schema   string           `json:"schema"`
+		Findings []map[string]any `json:"findings"`
 	}
-	if len(findings) == 0 {
-		t.Fatal("JSON output is empty")
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not the JSON envelope: %v\n%s", err, stdout.String())
 	}
-	if a, _ := findings[0]["analyzer"].(string); a == "" {
-		t.Errorf("finding missing analyzer field: %v", findings[0])
+	if rep.Schema != jsonSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, jsonSchema)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("JSON output has no findings")
+	}
+	if a, _ := rep.Findings[0]["analyzer"].(string); a == "" {
+		t.Errorf("finding missing analyzer field: %v", rep.Findings[0])
+	}
+	for _, f := range rep.Findings {
+		if file, _ := f["file"].(string); filepath.IsAbs(file) {
+			t.Errorf("finding path %q is absolute; the report must be checkout-independent", file)
+		}
+	}
+}
+
+// TestRunJSONGolden pins the -json report byte-for-byte against a
+// committed golden file: sorted order, relative slash paths, schema
+// field. Regenerate with -update after an intentional change (and bump
+// jsonSchema if the shape changed).
+func TestRunJSONGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixtureDir, "-detpkgs", "a", "-json", "./a"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "nondet.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("-json output drifted from %s (regenerate with -update if intentional):\ngot:\n%s\nwant:\n%s", golden, stdout.Bytes(), want)
 	}
 }
 

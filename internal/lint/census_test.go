@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// censusMarker is the machine-readable directive tally DESIGN.md §10
+// carries. TestDirectiveCensus pins the module's real directive counts
+// against it, so a new suppression cannot land without the design doc
+// acknowledging it (and a removed one cannot leave the doc stale).
+var censusMarker = regexp.MustCompile(`<!-- drainvet-directive-census:([^>]*)-->`)
+
+// TestDirectiveCensus scans every non-testdata .go file in the module
+// for //drain: directive comments and compares the per-kind tally with
+// the census marker in DESIGN.md §10.
+func TestDirectiveCensus(t *testing.T) {
+	root := moduleRoot(t)
+
+	got := map[string]int{}
+	for _, k := range DirectiveKinds {
+		got[k] = 0
+	}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// testdata holds the analyzers' own fixtures (deliberately full
+			// of directives); hidden dirs hold no Go sources of ours.
+			if name := d.Name(); name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, dirPrefix) {
+					continue
+				}
+				kind, _, _ := strings.Cut(strings.TrimPrefix(c.Text, dirPrefix), " ")
+				if knownDirective(kind) {
+					got[kind]++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk module: %v", err)
+	}
+
+	want := parseCensusMarker(t, root)
+	for _, k := range DirectiveKinds {
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("DESIGN.md census marker is missing kind %q (module has %d); add %s=%d", k, got[k], k, got[k])
+			continue
+		}
+		if got[k] != w {
+			t.Errorf("directive census drift for %s: module has %d, DESIGN.md §10 says %d — update the marker (and the surrounding prose) to match the audited set", k, got[k], w)
+		}
+	}
+	for k := range want {
+		if !knownDirective(k) {
+			t.Errorf("DESIGN.md census marker names unknown directive kind %q (known: %s)", k, strings.Join(DirectiveKinds, ", "))
+		}
+	}
+}
+
+// parseCensusMarker extracts the kind=count pairs from DESIGN.md.
+func parseCensusMarker(t *testing.T, root string) map[string]int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	m := censusMarker.FindSubmatch(data)
+	if m == nil {
+		t.Fatal("DESIGN.md has no drainvet-directive-census marker (expected in §10)")
+	}
+	out := map[string]int{}
+	for _, field := range strings.Fields(string(m[1])) {
+		kind, countStr, ok := strings.Cut(field, "=")
+		if !ok {
+			t.Fatalf("malformed census entry %q (want kind=count)", field)
+		}
+		n, err := strconv.Atoi(countStr)
+		if err != nil {
+			t.Fatalf("malformed census count in %q: %v", field, err)
+		}
+		out[kind] = n
+	}
+	return out
+}
+
+// moduleRoot resolves the enclosing module's root directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}

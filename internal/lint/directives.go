@@ -7,11 +7,23 @@ import (
 
 // Directive kinds.
 const (
-	dirHotpath    = "hotpath"
-	dirColdpath   = "coldpath"
-	dirOrderfree  = "orderfree"
-	dirCtxcarrier = "ctxcarrier"
+	dirHotpath        = "hotpath"
+	dirColdpath       = "coldpath"
+	dirOrderfree      = "orderfree"
+	dirCtxcarrier     = "ctxcarrier"
+	dirParallelphase  = "parallelphase"
+	dirStaged         = "staged"
+	dirCachekeyExempt = "cachekey-exempt"
 )
+
+// DirectiveKinds lists every directive the analyzers accept, in the
+// order they are documented. The parse switch, the DESIGN.md directive
+// census (TestDirectiveCensus) and the docs all derive from this one
+// list, so a new directive cannot be added without showing up in each.
+var DirectiveKinds = []string{
+	dirHotpath, dirColdpath, dirOrderfree, dirCtxcarrier,
+	dirParallelphase, dirStaged, dirCachekeyExempt,
+}
 
 const dirPrefix = "//drain:"
 
@@ -44,18 +56,17 @@ func (p *Package) parseDirectives(f *ast.File) (fileDirectives, []Finding) {
 			kind, reason, _ := strings.Cut(rest, " ")
 			reason = strings.TrimSpace(reason)
 			line := p.Fset.Position(c.Pos()).Line
-			switch kind {
-			case dirHotpath, dirColdpath, dirOrderfree, dirCtxcarrier:
-				if reason == "" {
-					bad = append(bad, p.finding("directive", c,
-						"//drain:%s requires a reason: //drain:%s <why this is sound>", kind, kind))
-					continue
-				}
-				d.byLine[line] = append(d.byLine[line], directive{kind: kind, reason: reason, line: line})
-			default:
+			if !knownDirective(kind) {
 				bad = append(bad, p.finding("directive", c,
-					"unknown directive %q (known: hotpath, coldpath, orderfree, ctxcarrier)", dirPrefix+kind))
+					"unknown directive %q (known: %s)", dirPrefix+kind, strings.Join(DirectiveKinds, ", ")))
+				continue
 			}
+			if reason == "" {
+				bad = append(bad, p.finding("directive", c,
+					"//drain:%s requires a reason: //drain:%s <why this is sound>", kind, kind))
+				continue
+			}
+			d.byLine[line] = append(d.byLine[line], directive{kind: kind, reason: reason, line: line})
 		}
 	}
 	return d, bad
@@ -75,14 +86,19 @@ func (d fileDirectives) at(kind string, line int) bool {
 	return false
 }
 
-// funcHas reports whether fn carries the directive (with a reason)
-// anywhere in its doc comment block or on its declaration line.
-func (p *Package) funcHas(d fileDirectives, fn *ast.FuncDecl, kind string) bool {
-	start := p.Fset.Position(fn.Pos()).Line
-	if fn.Doc != nil {
-		start = p.Fset.Position(fn.Doc.Pos()).Line
+// knownDirective reports whether kind is in the directive vocabulary.
+func knownDirective(kind string) bool {
+	for _, k := range DirectiveKinds {
+		if k == kind {
+			return true
+		}
 	}
-	end := p.Fset.Position(fn.Name.Pos()).Line
+	return false
+}
+
+// hasInRange reports whether a directive of the given kind sits on any
+// line in [start, end].
+func (d fileDirectives) hasInRange(kind string, start, end int) bool {
 	for l := start; l <= end; l++ {
 		for _, dir := range d.byLine[l] {
 			if dir.kind == kind {
@@ -91,4 +107,40 @@ func (p *Package) funcHas(d fileDirectives, fn *ast.FuncDecl, kind string) bool 
 		}
 	}
 	return false
+}
+
+// funcHas reports whether fn carries the directive (with a reason)
+// anywhere in its doc comment block or on its declaration line.
+func (p *Package) funcHas(d fileDirectives, fn *ast.FuncDecl, kind string) bool {
+	start := p.Fset.Position(fn.Pos()).Line
+	if fn.Doc != nil {
+		start = p.Fset.Position(fn.Doc.Pos()).Line
+	}
+	return d.hasInRange(kind, start, p.Fset.Position(fn.Name.Pos()).Line)
+}
+
+// typeHas reports whether the type declaration carries the directive
+// anywhere in its doc comment block or on its name line.
+func (p *Package) typeHas(d fileDirectives, gd *ast.GenDecl, ts *ast.TypeSpec, kind string) bool {
+	start := p.Fset.Position(ts.Pos()).Line
+	if ts.Doc != nil {
+		start = p.Fset.Position(ts.Doc.Pos()).Line
+	} else if gd != nil && gd.Doc != nil && len(gd.Specs) == 1 {
+		start = p.Fset.Position(gd.Doc.Pos()).Line
+	}
+	return d.hasInRange(kind, start, p.Fset.Position(ts.Name.Pos()).Line)
+}
+
+// fieldHas reports whether a struct field carries the directive in its
+// doc comment block, on its own line, or in its trailing comment.
+func (p *Package) fieldHas(d fileDirectives, f *ast.Field, kind string) bool {
+	start := p.Fset.Position(f.Pos()).Line
+	if f.Doc != nil {
+		start = p.Fset.Position(f.Doc.Pos()).Line
+	}
+	end := p.Fset.Position(f.End()).Line
+	if f.Comment != nil {
+		end = p.Fset.Position(f.Comment.End()).Line
+	}
+	return d.hasInRange(kind, start, end)
 }

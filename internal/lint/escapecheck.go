@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// runEscapeCheck cross-checks the compiler's escape analysis
+// (go build -gcflags=-m=2) against hotalloc's syntactic verdicts, in
+// both directions:
+//
+//   - Forward: a value the compiler heap-escapes ("moved to heap" /
+//     "escapes to heap") inside a hot-path-reachable function, on a line
+//     hotalloc did NOT flag, is a finding — an allocation the syntactic
+//     scan's construct list missed (escaping address-of-local, a
+//     conversion the compiler couldn't devirtualize, ...). String
+//     constants are skipped: a literal's "escape" is static rodata, not
+//     a per-call allocation.
+//   - Backward: a //drain:coldpath directive on a function that is not
+//     reachable from any hot root even WITHOUT coldpath pruning is
+//     stale — it suppresses nothing and would silently mask a future
+//     real edge, so it must be removed (or the root set fixed).
+//
+// The hot set is the same walk hotalloc uses (HotRoots plus
+// //drain:hotpath, pruned at //drain:coldpath); the compiler run covers
+// exactly the target packages that contain hot functions. The analyzer
+// shells out to the already-required go toolchain and parses its
+// diagnostics, keeping the no-external-dependency rule intact.
+func runEscapeCheck(c *Config, pkgs []*Package) []Finding {
+	idx := buildFuncIndex(pkgs)
+	seeds := idx.rootsOf(c.HotRoots, dirHotpath)
+	hot := idx.reachable(seeds, pruneColdpath)
+	full := idx.reachable(seeds, nil)
+
+	var out []Finding
+	out = append(out, staleColdpaths(idx, full)...)
+
+	// Line spans of hot functions in target packages, and the package
+	// set to compile.
+	type span struct {
+		start, end int
+		fn         string
+	}
+	spans := map[string][]span{} // file -> spans
+	pkgSet := map[string]*Package{}
+	// Lines calling a //drain:coldpath function: the compiler inlines
+	// small coldpath callees into hot callers and re-attributes their
+	// escapes to the call-site line, so a diagnostic there is the
+	// already-suppressed coldpath allocation, not a new hot one.
+	coldCall := map[string]bool{}
+	for _, fn := range hot {
+		d := idx[fn]
+		if !d.pkg.Target {
+			continue
+		}
+		pos := d.pkg.Fset.Position(d.decl.Pos())
+		end := d.pkg.Fset.Position(d.decl.End())
+		spans[pos.Filename] = append(spans[pos.Filename], span{start: pos.Line, end: end.Line, fn: fn.Name()})
+		pkgSet[d.pkg.ImportPath] = d.pkg
+		for _, cs := range callSites(d) {
+			if cd, ok := idx[origin(cs.callee)]; ok && pruneColdpath(cd) {
+				cp := d.pkg.Fset.Position(cs.node.Pos())
+				coldCall[cp.Filename+":"+strconv.Itoa(cp.Line)] = true
+			}
+		}
+	}
+	if len(pkgSet) == 0 {
+		return out
+	}
+
+	// Lines hotalloc already reports; the compiler seeing the same site
+	// is agreement, not a new finding.
+	flagged := map[string]bool{}
+	for _, f := range runHotAlloc(c, pkgs) {
+		flagged[f.File+":"+strconv.Itoa(f.Line)] = true
+	}
+
+	diags, err := compilerEscapes(pkgSet)
+	if err != nil {
+		// A failing build under a loader that just type-checked the same
+		// tree is an operational problem worth surfacing as a finding
+		// rather than silently passing.
+		return append(out, Finding{File: "go build", Analyzer: "escapecheck",
+			Message: fmt.Sprintf("compiler escape analysis failed: %v", err)})
+	}
+	seen := map[string]bool{}
+	for _, dg := range diags {
+		ss := spans[dg.file]
+		if ss == nil {
+			continue
+		}
+		for _, s := range ss {
+			if dg.line < s.start || dg.line > s.end {
+				continue
+			}
+			key := dg.file + ":" + strconv.Itoa(dg.line)
+			if flagged[key] || coldCall[key] || seen[key+dg.msg] {
+				break
+			}
+			seen[key+dg.msg] = true
+			out = append(out, Finding{
+				Pos:      dg.pos(),
+				File:     dg.file,
+				Line:     dg.line,
+				Col:      dg.col,
+				Analyzer: "escapecheck",
+				Message: fmt.Sprintf("%s is hot-path reachable: compiler escape analysis reports %q on a line hotalloc does not flag (keep the value on the stack, or mark the function //drain:coldpath with a reason)",
+					s.fn, dg.msg),
+			})
+			break
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// staleColdpaths flags //drain:coldpath directives on functions the
+// unpruned hot walk never reaches.
+func staleColdpaths(idx funcIndex, full []*types.Func) []Finding {
+	inFull := map[*types.Func]bool{}
+	for _, fn := range full {
+		inFull[fn] = true
+	}
+	var out []Finding
+	for fn, d := range idx {
+		if !d.pkg.Target || !d.pkg.funcHas(d.dirs, d.decl, dirColdpath) {
+			continue
+		}
+		if !inFull[fn] {
+			out = append(out, d.pkg.finding("escapecheck", d.decl.Name,
+				"stale //drain:coldpath on %s: no hot root reaches it even without pruning, so the directive suppresses nothing (remove it, or re-root the hot walk)", fn.Name()))
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// escDiag is one parsed compiler escape diagnostic.
+type escDiag struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+func (d escDiag) pos() (p token.Position) {
+	p.Filename, p.Line, p.Column = d.file, d.line, d.col
+	return
+}
+
+// compilerEscapes runs go build -gcflags=-m=2 over the packages and
+// returns the heap-escape diagnostics with file paths made absolute.
+// The compiler prints paths either relative to the module root or
+// relative to the package directory (as "./file.go"); the "# pkgpath"
+// headers between diagnostic blocks disambiguate which package the
+// relative form belongs to. Flow-explanation headers (lines ending in
+// ":", followed by indented detail) are skipped: the bare -m=1 verdict
+// line always accompanies them, so each escape is counted once. The
+// build cache replays compiler diagnostics, so warm runs are cheap.
+func compilerEscapes(pkgSet map[string]*Package) ([]escDiag, error) {
+	var paths []string
+	var buildDir string
+	for path, p := range pkgSet {
+		paths = append(paths, path)
+		buildDir = p.Dir
+	}
+	sort.Strings(paths)
+
+	envCmd := exec.Command("go", "env", "GOMOD")
+	envCmd.Dir = buildDir
+	gomod, err := envCmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go env GOMOD: %v", err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(gomod)))
+	args := append([]string{"build", "-gcflags=-m=2"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = buildDir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m=2: %v\n%s", err, stderr.String())
+	}
+	var out []escDiag
+	curDir := root
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			if p, ok := pkgSet[strings.TrimSpace(line[2:])]; ok {
+				curDir = p.Dir
+			} else {
+				curDir = root
+			}
+			continue
+		}
+		if line == "" || line[0] == '#' || line[0] == ' ' || line[0] == '\t' {
+			continue // -m=2 flow explanations
+		}
+		file, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		lineStr, rest, ok := strings.Cut(rest, ":")
+		if !ok {
+			continue
+		}
+		colStr, msg, ok := strings.Cut(rest, ":")
+		if !ok {
+			continue
+		}
+		msg = strings.TrimSpace(msg)
+		if strings.HasSuffix(msg, ":") {
+			continue // flow header; the bare verdict line follows
+		}
+		if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		if strings.HasPrefix(msg, `"`) {
+			continue // string constant: rodata, not a per-call allocation
+		}
+		ln, err1 := strconv.Atoi(lineStr)
+		cl, err2 := strconv.Atoi(colStr)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if file == "<autogenerated>" {
+			continue
+		}
+		switch {
+		case filepath.IsAbs(file):
+		case strings.HasPrefix(file, "./") || strings.HasPrefix(file, "../"):
+			file = filepath.Join(curDir, file)
+		default:
+			file = filepath.Join(root, file)
+		}
+		out = append(out, escDiag{file: file, line: ln, col: cl, msg: msg})
+	}
+	return out, nil
+}

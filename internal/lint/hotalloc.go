@@ -4,8 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
-	"strings"
 )
 
 // runHotAlloc turns the TestStepAllocs runtime guard (0 allocs/cycle in
@@ -30,57 +28,8 @@ import (
 // are not followed — keep hot-path dispatch static.
 func runHotAlloc(c *Config, pkgs []*Package) []Finding {
 	idx := buildFuncIndex(pkgs)
+	hot := idx.reachable(idx.rootsOf(c.HotRoots, dirHotpath), pruneColdpath)
 	var out []Finding
-
-	// Seed the worklist with configured roots and //drain:hotpath funcs.
-	var work []*types.Func
-	seen := map[*types.Func]bool{}
-	add := func(fn *types.Func) {
-		if fn != nil && !seen[fn] {
-			seen[fn] = true
-			work = append(work, fn)
-		}
-	}
-	for fn, d := range idx {
-		for _, root := range c.HotRoots {
-			if matchesRoot(fn, root) {
-				add(fn)
-			}
-		}
-		if d.pkg.funcHas(d.dirs, d.decl, dirHotpath) {
-			add(fn)
-		}
-	}
-
-	// BFS over static calls.
-	var hot []*types.Func
-	for len(work) > 0 {
-		fn := work[0]
-		work = work[1:]
-		d, ok := idx[fn]
-		if !ok || d.decl.Body == nil {
-			continue
-		}
-		if d.pkg.funcHas(d.dirs, d.decl, dirColdpath) {
-			continue
-		}
-		hot = append(hot, fn)
-		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if callee := d.pkg.calleeOf(call); callee != nil {
-				add(origin(callee))
-			}
-			return true
-		})
-	}
-	// Deterministic report order regardless of map-seeded BFS order.
-	sort.Slice(hot, func(i, j int) bool {
-		return idx[hot[i]].decl.Pos() < idx[hot[j]].decl.Pos()
-	})
-
 	for _, fn := range hot {
 		d := idx[fn]
 		if !d.pkg.Target {
@@ -91,57 +40,10 @@ func runHotAlloc(c *Config, pkgs []*Package) []Finding {
 	return out
 }
 
-// declInfo ties a function object to its declaration, package and the
-// declaring file's directives.
-type declInfo struct {
-	decl *ast.FuncDecl
-	pkg  *Package
-	dirs fileDirectives
-}
-
-// buildFuncIndex maps every module function object to its declaration.
-func buildFuncIndex(pkgs []*Package) map[*types.Func]declInfo {
-	idx := map[*types.Func]declInfo{}
-	for _, p := range pkgs {
-		if p.Info == nil {
-			continue
-		}
-		for _, f := range p.Files {
-			dirs, _ := p.parseDirectives(f) // bad directives reported by maprange
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok {
-					continue
-				}
-				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
-					idx[fn] = declInfo{decl: fd, pkg: p, dirs: dirs}
-				}
-			}
-		}
-	}
-	return idx
-}
-
-// origin unwraps generic instantiations to the declared function.
-func origin(fn *types.Func) *types.Func { return fn.Origin() }
-
-// matchesRoot reports whether fn matches a root spec of the form
-// "pkgsuffix.Type.Method" or "pkgsuffix.Func".
-func matchesRoot(fn *types.Func, spec string) bool {
-	full := fn.Pkg().Path() + "."
-	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
-		t := recv.Type()
-		if ptr, ok := t.(*types.Pointer); ok {
-			t = ptr.Elem()
-		}
-		named, ok := t.(*types.Named)
-		if !ok {
-			return false
-		}
-		full += named.Obj().Name() + "."
-	}
-	full += fn.Name()
-	return full == spec || strings.HasSuffix(full, "/"+spec)
+// pruneColdpath excludes //drain:coldpath functions from a reachability
+// walk.
+func pruneColdpath(d declInfo) bool {
+	return d.pkg.funcHas(d.dirs, d.decl, dirColdpath)
 }
 
 // checkHotFunc scans one hot function body for allocation sources.

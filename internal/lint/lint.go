@@ -1,6 +1,8 @@
 // Package lint implements drainvet, the simulator's custom static
-// analysis. Four analyzers enforce, at build time, the invariants the
-// evaluation depends on at run time:
+// analysis. Eight analyzers enforce, at build time, the invariants the
+// evaluation depends on at run time.
+//
+// The syntactic four (PR 4):
 //
 //   - maprange: no order-dependent iteration over maps in the
 //     deterministic packages (Go randomizes map order per run; anything
@@ -16,9 +18,27 @@
 //     context is stored in a struct field, and simulation loops inside
 //     ctx-taking functions actually consult their ctx.
 //
+// The dataflow/effects four (this PR; DESIGN.md §13):
+//
+//   - shardsafe: the write-set of every function reachable from the
+//     sharded engine's parallel phases stays inside the goroutine's
+//     frame or lands in //drain:staged state (the byte-identity
+//     partition argument, checked).
+//   - serialrng: no RNG draw is reachable from a parallel phase; draws
+//     stay on the serial commit path, keeping the draw sequence
+//     shard-count independent.
+//   - keycomplete: every field of the cache-key structs (sim.Params,
+//     server.canonical) is classified — serialized into the key or
+//     `json:"-"` plus //drain:cachekey-exempt — and every server
+//     Request field is consumed by canonicalization.
+//   - escapecheck: go build -gcflags=-m=2 output cross-checked against
+//     hotalloc (compiler-found hot-path escapes hotalloc missed, and
+//     stale //drain:coldpath directives).
+//
 // The package is deliberately built on the standard library only
-// (go/ast, go/parser, go/types, `go list` for discovery): the module has
-// no external dependencies and must stay that way.
+// (go/ast, go/parser, go/types, `go list` for discovery, the go
+// toolchain itself for escapecheck): the module has no external
+// dependencies and must stay that way.
 //
 // # Directives
 //
@@ -26,15 +46,28 @@
 // suppression requires a written reason; bare directives are themselves
 // reported as violations.
 //
-//	//drain:hotpath <reason>    on a function: extra hot-path root
-//	//drain:coldpath <reason>   on a function: excluded from the
-//	                            hot-path walk (amortized or failure
-//	                            paths that cannot run in steady state)
-//	//drain:orderfree <reason>  on a map-range statement: iteration is
-//	                            provably order-insensitive
-//	//drain:ctxcarrier <reason> on a context.Context struct field: the
-//	                            struct is a queue/message carrier moving
-//	                            a request-scoped ctx between goroutines
+//	//drain:hotpath <reason>        on a function: extra hot-path root
+//	//drain:coldpath <reason>       on a function: excluded from the
+//	                                hot-path walk (amortized or failure
+//	                                paths that cannot run in steady
+//	                                state)
+//	//drain:orderfree <reason>      on a map-range statement: iteration
+//	                                is provably order-insensitive
+//	//drain:ctxcarrier <reason>     on a context.Context struct field:
+//	                                the struct is a queue/message
+//	                                carrier moving a request-scoped ctx
+//	                                between goroutines
+//	//drain:parallelphase <reason>  on a function: extra parallel-phase
+//	                                root for shardsafe/serialrng
+//	//drain:staged <reason>         on a type or struct field: staging
+//	                                or partitioned state parallel phases
+//	                                may write (the reason must say why
+//	                                concurrent shard writes cannot race
+//	                                or reorder observably)
+//	//drain:cachekey-exempt <reason> on a struct field of a cache-key
+//	                                struct: excluded from the key
+//	                                because it changes only performance,
+//	                                never results
 package lint
 
 import (
@@ -70,7 +103,7 @@ type Analyzer struct {
 	Run  func(c *Config, pkgs []*Package) []Finding
 }
 
-// Analyzers returns all four analyzers in stable order.
+// Analyzers returns all eight analyzers in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		{
@@ -93,6 +126,26 @@ func Analyzers() []*Analyzer {
 			Doc:  "cancellation hygiene: ctx-first entry points, no stored ctx, loops consult ctx",
 			Run:  runCtxFlow,
 		},
+		{
+			Name: "shardsafe",
+			Doc:  "parallel-phase write-sets confined to shard-local or //drain:staged state",
+			Run:  runShardSafe,
+		},
+		{
+			Name: "serialrng",
+			Doc:  "no RNG draw reachable from a parallel phase (draws stay on the serial commit path)",
+			Run:  runSerialRNG,
+		},
+		{
+			Name: "keycomplete",
+			Doc:  "cache-key structs fully classified; request fields all consumed by canonicalization",
+			Run:  runKeyComplete,
+		},
+		{
+			Name: "escapecheck",
+			Doc:  "compiler escape analysis cross-checked against hotalloc, and stale coldpath directives",
+			Run:  runEscapeCheck,
+		},
 	}
 }
 
@@ -105,6 +158,23 @@ type Config struct {
 	// HotRoots names the hot-path roots as "pkgsuffix.Type.Method" or
 	// "pkgsuffix.Func"; //drain:hotpath directives add more.
 	HotRoots []string
+	// ParallelPhaseRoots names the functions that run concurrently on the
+	// sharded engine's worker pool (same spec syntax as HotRoots);
+	// //drain:parallelphase directives add more. shardsafe and serialrng
+	// analyze everything statically reachable from them.
+	ParallelPhaseRoots []string
+	// RNGDrawFuncs names the repo's own randomness-drawing primitives
+	// beyond the rand packages themselves (the counter-stream sampler,
+	// the emit-time reseed); serialrng treats a call to any of them as a
+	// draw.
+	RNGDrawFuncs []string
+	// KeyStructs names the structs ("pkgsuffix.Type") whose JSON encoding
+	// is a cache-key preimage; keycomplete requires every field to be
+	// serialized or //drain:cachekey-exempt.
+	KeyStructs []string
+	// RequestStructs names the wire-request structs whose every exported
+	// field must be consumed in the declaring package.
+	RequestStructs []string
 }
 
 // DefaultConfig returns the repository's production scope.
@@ -137,6 +207,33 @@ func DefaultConfig() *Config {
 			// overlay swap, flight drops and buffer evacuations must not
 			// allocate (the routing-table rebuild happens outside, in sim).
 			"internal/noc.Network.Reconfigure",
+		},
+		// The four phase bodies the sharded engine fans across its worker
+		// pool (parallel.go runShardPhase); everything else the engine does
+		// — commits, wakes, reduces — runs on the stepping goroutine.
+		ParallelPhaseRoots: []string{
+			"internal/noc.parallelEngine.landArrivals",
+			"internal/noc.parallelEngine.applyUpFrees",
+			"internal/noc.parallelEngine.planShard",
+			"internal/noc.parallelEngine.injectShard",
+		},
+		// The traffic generator's draw primitives: the per-packet gap
+		// sampler, the counter-stream draw, and emit (which reseeds the
+		// derived stream in counter mode and draws destinations in both).
+		RNGDrawFuncs: []string{
+			"internal/traffic.Generator.gapAfter",
+			"internal/traffic.Generator.counterDraw",
+			"internal/traffic.Generator.emit",
+			"internal/traffic.Generator.reschedule",
+		},
+		// The two structs whose JSON encodings feed the server's SHA-256
+		// content address (request.go Key).
+		KeyStructs: []string{
+			"internal/sim.Params",
+			"internal/server.canonical",
+		},
+		RequestStructs: []string{
+			"internal/server.Request",
 		},
 	}
 }

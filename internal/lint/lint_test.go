@@ -37,8 +37,18 @@ func TestFixtures(t *testing.T) {
 			}
 			cfg := DefaultConfig()
 			// Fixtures are not in the production deterministic set; put
-			// them in scope explicitly. Hot roots come from //drain:hotpath.
+			// them in scope explicitly. Hot roots come from //drain:hotpath
+			// and parallel-phase roots from //drain:parallelphase, so those
+			// analyzers self-root; the struct- and primitive-matching
+			// configs must point at fixture declarations instead.
 			cfg.DeterministicPkgs = []string{dir + "/a"}
+			switch a.Name {
+			case "serialrng":
+				cfg.RNGDrawFuncs = []string{"a.gen.draw"}
+			case "keycomplete":
+				cfg.KeyStructs = []string{"a.Params"}
+				cfg.RequestStructs = []string{"a.Request"}
+			}
 			findings := a.Run(cfg, pkgs)
 			SortFindings(findings)
 

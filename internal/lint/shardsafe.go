@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runShardSafe computes the write-set of every function statically
+// reachable from the parallel-phase roots (the sharded engine's
+// land-arrive, land-free, plan and inject phases, plus any function
+// marked //drain:parallelphase) and flags writes that leave the running
+// goroutine's frame without landing in declared staging state. The
+// sharded engine's byte-identity argument says every parallel-phase
+// write is either partitioned by owner (destination router, shard) or
+// staged into per-shard buffers drained serially; this analyzer turns
+// that prose into a checked classification:
+//
+//   - writes to local variables (including struct values and arrays on
+//     the frame) are always fine;
+//   - writes to package-level variables are findings — shared mutable
+//     state has no owner;
+//   - field writes, element writes and pointer-dereference writes that
+//     escape the frame are resolved to the named type (and field) that
+//     owns the memory; the write is legal only if that type or field is
+//     declared staging/partitioned state via a reasoned //drain:staged
+//     directive, placed on the type declaration or on the specific
+//     field;
+//   - channel sends are findings — phases synchronize only at barriers.
+//
+// A //drain:staged directive is a claim reviewed by a human: the reason
+// string must say why concurrent shard writes to that state cannot race
+// or reorder observably (per-shard instance, router-partitioned index
+// ranges, cross-shard staging drained in deterministic order, ...).
+// Dynamic calls are not followed (the engine-seam convention; see
+// hotalloc); the phase functions dispatch statically.
+func runShardSafe(c *Config, pkgs []*Package) []Finding {
+	idx := buildFuncIndex(pkgs)
+	roots := idx.rootsOf(c.ParallelPhaseRoots, dirParallelphase)
+	if len(roots) == 0 {
+		return nil
+	}
+	staged := buildStagedIndex(pkgs)
+	var out []Finding
+	for _, fn := range idx.reachable(roots, nil) {
+		d := idx[fn]
+		if !d.pkg.Target {
+			continue
+		}
+		out = append(out, checkPhaseWrites(d.pkg, fn, d.decl, staged)...)
+	}
+	return out
+}
+
+// stagedIndex records which named types and struct fields are declared
+// staging/partitioned state.
+type stagedIndex struct {
+	types  map[types.Object]bool // type name objects (*types.TypeName)
+	fields map[types.Object]bool // field objects (*types.Var)
+}
+
+// ok reports whether a write to field fieldObj of named type owner is
+// covered by a //drain:staged declaration.
+func (si stagedIndex) ok(owner *types.Named, fieldObj types.Object) bool {
+	if owner != nil && si.types[owner.Obj()] {
+		return true
+	}
+	return fieldObj != nil && si.fields[fieldObj]
+}
+
+// buildStagedIndex scans every loaded file for //drain:staged directives
+// on type declarations and struct fields.
+func buildStagedIndex(pkgs []*Package) stagedIndex {
+	si := stagedIndex{types: map[types.Object]bool{}, fields: map[types.Object]bool{}}
+	for _, p := range pkgs {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			dirs, _ := p.parseDirectives(f)
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if p.typeHas(dirs, gd, ts, dirStaged) {
+						if obj := p.objectOf(ts.Name); obj != nil {
+							si.types[obj] = true
+						}
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						if !p.fieldHas(dirs, fld, dirStaged) {
+							continue
+						}
+						for _, nm := range fld.Names {
+							if obj := p.objectOf(nm); obj != nil {
+								si.fields[obj] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return si
+}
+
+// checkPhaseWrites scans one parallel-phase-reachable function body.
+func checkPhaseWrites(p *Package, fn *types.Func, decl *ast.FuncDecl, staged stagedIndex) []Finding {
+	var out []Finding
+	name := fn.Name()
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				if node.Tok == token.DEFINE {
+					continue // new local
+				}
+				out = append(out, classifyWrite(p, name, lhs, staged)...)
+			}
+		case *ast.IncDecStmt:
+			out = append(out, classifyWrite(p, name, node.X, staged)...)
+		case *ast.SendStmt:
+			out = append(out, p.finding("shardsafe", node,
+				"%s is parallel-phase reachable: channel send from a phase body (phases synchronize only at barriers)", name))
+		case *ast.RangeStmt:
+			if node.Tok == token.ASSIGN {
+				if node.Key != nil {
+					out = append(out, classifyWrite(p, name, node.Key, staged)...)
+				}
+				if node.Value != nil {
+					out = append(out, classifyWrite(p, name, node.Value, staged)...)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// classifyWrite decides whether a single lvalue write stays inside the
+// running goroutine's frame or lands in declared staging state, and
+// reports a finding otherwise.
+func classifyWrite(p *Package, fnName string, lhs ast.Expr, staged stagedIndex) []Finding {
+	lhs = ast.Unparen(lhs)
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return nil
+		}
+		obj := p.objectOf(e)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return nil
+		}
+		if isPackageLevel(v) {
+			return []Finding{p.finding("shardsafe", lhs,
+				"%s is parallel-phase reachable: write to package-level variable %s (shared state with no shard owner)", fnName, e.Name)}
+		}
+		return nil // local (or parameter): confined to this goroutine's frame
+	case *ast.SelectorExpr:
+		return classifyFieldWrite(p, fnName, e, staged)
+	case *ast.IndexExpr:
+		// Element write: the backing store is what matters. An index into
+		// a local slice variable is the arena discipline (the slice header
+		// was handed to this goroutine); an index into a field resolves
+		// like a field write of that field.
+		return classifyWrite(p, fnName, e.X, staged)
+	case *ast.StarExpr:
+		if named := namedPointee(p.typeOf(e.X)); named != nil {
+			if staged.ok(named, nil) {
+				return nil
+			}
+			return []Finding{p.finding("shardsafe", lhs,
+				"%s is parallel-phase reachable: write through *%s, which is not declared staging state (//drain:staged <reason> on the type, or move the write to a serial phase)", fnName, named.Obj().Name())}
+		}
+		return []Finding{p.finding("shardsafe", lhs,
+			"%s is parallel-phase reachable: write through an unclassifiable pointer", fnName)}
+	case *ast.SliceExpr:
+		return classifyWrite(p, fnName, e.X, staged)
+	}
+	return []Finding{p.finding("shardsafe", lhs,
+		"%s is parallel-phase reachable: write to an unclassifiable lvalue", fnName)}
+}
+
+// classifyFieldWrite resolves a selector write x.f = v.
+func classifyFieldWrite(p *Package, fnName string, e *ast.SelectorExpr, staged stagedIndex) []Finding {
+	sel := p.Info.Selections[e]
+	if sel == nil {
+		// Qualified identifier pkg.Var.
+		if obj, ok := p.objectOf(e.Sel).(*types.Var); ok && isPackageLevel(obj) {
+			return []Finding{p.finding("shardsafe", e,
+				"%s is parallel-phase reachable: write to package-level variable %s.%s (shared state with no shard owner)", fnName, exprString(e.X), e.Sel.Name)}
+		}
+		return nil
+	}
+	if sel.Kind() != types.FieldVal {
+		return nil
+	}
+	// A write to a field of a struct VALUE rooted at a local variable
+	// never leaves the frame; any pointer hop on the way down does.
+	if localValueChain(p, e.X) {
+		return nil
+	}
+	owner := namedPointee(sel.Recv())
+	if staged.ok(owner, sel.Obj()) {
+		return nil
+	}
+	ownerName := "?"
+	if owner != nil {
+		ownerName = owner.Obj().Name()
+	}
+	return []Finding{p.finding("shardsafe", e,
+		"%s is parallel-phase reachable: write to %s.%s, which is neither shard-local nor declared staging state (//drain:staged <reason> on the field or type, or move the write to a serial phase)", fnName, ownerName, e.Sel.Name)}
+}
+
+// localValueChain reports whether expr is a chain of value-typed
+// selectors/array indexes rooted at a non-package-level, value-typed
+// variable — i.e. storage that provably lives in this function's frame.
+func localValueChain(p *Package, expr ast.Expr) bool {
+	for {
+		expr = ast.Unparen(expr)
+		switch v := expr.(type) {
+		case *ast.Ident:
+			obj, ok := p.objectOf(v).(*types.Var)
+			if !ok || isPackageLevel(obj) {
+				return false
+			}
+			return !escapesFrame(obj.Type())
+		case *ast.SelectorExpr:
+			sel := p.Info.Selections[v]
+			if sel == nil || sel.Kind() != types.FieldVal || escapesFrame(sel.Recv()) {
+				return false
+			}
+			expr = v.X
+		case *ast.IndexExpr:
+			t := p.typeOf(v.X)
+			if t == nil {
+				return false
+			}
+			if _, ok := t.Underlying().(*types.Array); !ok {
+				return false // slice/map backing store is heap memory
+			}
+			expr = v.X
+		default:
+			return false
+		}
+	}
+}
+
+// escapesFrame reports whether a value of type t references storage
+// outside the holding variable itself (pointer, slice, map, channel —
+// anything a write could reach shared memory through).
+func escapesFrame(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// namedPointee unwraps pointers and aliases to the named type, or nil.
+func namedPointee(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isPackageLevel reports whether v is a package-scoped variable.
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// exprString renders a short expression for diagnostics.
+func exprString(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "?"
+}

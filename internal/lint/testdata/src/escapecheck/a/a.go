@@ -1,0 +1,62 @@
+// Package a exercises the escapecheck analyzer, which cross-checks the
+// compiler's escape analysis (go build -gcflags=-m=2) against hotalloc
+// in both directions. The //go:noinline directives keep the compiler
+// from re-attributing an inlined callee's escape diagnostics to the
+// call-site line, so each want anchors deterministically.
+package a
+
+var sink []int
+
+//drain:hotpath fixture root: models the per-cycle step
+func step(n int) int {
+	p := escaper(n)
+	sink = grow(sink)
+	if sink == nil {
+		_ = setup()
+	}
+	return *p
+}
+
+// escaper returns the address of a local. hotalloc's construct list has
+// no rule for plain address-of-ident, but the compiler moves v to the
+// heap — exactly the gap the forward check exists to catch.
+//
+//go:noinline
+func escaper(n int) *int {
+	v := n + 1 // want `\[escapecheck\] escaper is hot-path reachable: compiler escape analysis reports "moved to heap: v" on a line hotalloc does not flag`
+	return &v
+}
+
+// grow allocates via make on a line hotalloc already flags: the
+// compiler seeing the same site is agreement, not a second finding, so
+// there is no want here.
+//
+//go:noinline
+func grow(xs []int) []int {
+	ys := make([]int, len(xs)+1)
+	copy(ys, xs)
+	return ys
+}
+
+// setup is genuinely reachable from the root, so its coldpath directive
+// is live (it prunes setup's heap escape from the hot walk) — no
+// finding.
+//
+//drain:coldpath fixture: one-time lazy setup off the steady-state path
+//
+//go:noinline
+func setup() *int {
+	v := 9
+	return &v
+}
+
+// orphan carries a coldpath directive but no hot root reaches it even
+// without pruning: the directive suppresses nothing and is stale.
+//
+//drain:coldpath fixture: claims amortized work but nothing hot calls it
+//
+//go:noinline
+func orphan() *int { // want `\[escapecheck\] stale //drain:coldpath on orphan: no hot root reaches it even without pruning`
+	v := 3
+	return &v
+}

@@ -75,6 +75,20 @@ func (e *engine) onLinkFail(l int) {
 	_ = dropped
 }
 
+// reschedule models the traffic generator's emit-then-reschedule hot
+// loop: after emitting the head packet it computes the next arrival and
+// re-inserts itself, so everything it reaches must stay alloc-free.
+//
+//drain:hotpath fixture root: models the generator reschedule path
+func (e *engine) reschedule(now int) {
+	e.scratch = append(e.scratch, now) // ok: reused field buffer
+	e.emit(now + 1)
+}
+
+func (e *engine) emit(t int) {
+	e.name = fmt.Sprint(t) // want `\[hotalloc\] emit is hot-path reachable: fmt.Sprint allocates`
+}
+
 // idle is never reached from the root: allocations here are fine.
 func idle(n int) []int {
 	return make([]int, n)

@@ -1,0 +1,39 @@
+// Package a exercises the serialrng analyzer: no RNG draw — std rand
+// call or declared draw primitive — may be reachable from a
+// //drain:parallelphase root. Draws belong on the serial commit path.
+package a
+
+import "math/rand/v2"
+
+type gen struct {
+	rng *rand.Rand
+	seq uint64
+}
+
+// draw is this fixture's declared RNG draw primitive; the test config
+// lists it in Config.RNGDrawFuncs (the production analogue is the
+// traffic generator's counter-stream sampler).
+func (g *gen) draw() uint64 {
+	g.seq++
+	return g.seq * 0x9e3779b97f4a7c15
+}
+
+//drain:parallelphase fixture root: models one shard's inject phase
+func (g *gen) inject(n int) int {
+	v := g.rng.IntN(n)     // want `\[serialrng\] inject is parallel-phase reachable: rand.IntN draws randomness`
+	v += int(g.draw() % 7) // want `\[serialrng\] inject is parallel-phase reachable: draw is a declared RNG draw primitive`
+	g.plan(n)
+	return v
+}
+
+// plan is reached transitively from the root: its draws are findings
+// too.
+func (g *gen) plan(n int) {
+	if rand.Uint64()%2 == 0 { // want `\[serialrng\] plan is parallel-phase reachable: rand.Uint64 draws randomness`
+		g.seq = uint64(n)
+	}
+}
+
+// commit runs on the serial path (not a parallel-phase root): draws
+// here are legal.
+func commit(g *gen, n int) int { return g.rng.IntN(n) + int(g.draw()) }

@@ -1,0 +1,59 @@
+// Package a exercises the shardsafe analyzer: functions reachable from
+// a //drain:parallelphase root may write only frame-local storage or
+// state declared staging/partitioned via //drain:staged.
+package a
+
+// total is shared mutable state with no shard owner.
+var total int
+
+type network struct {
+	credits int
+}
+
+// arena is declared staging state: writes anywhere inside it are legal
+// from a parallel phase.
+//
+//drain:staged fixture: per-shard arena, one instance per worker goroutine
+type arena struct {
+	slots []int
+}
+
+type counters struct {
+	//drain:staged fixture: router-partitioned; shard s writes only its own index range
+	occ []int
+
+	flits int
+}
+
+type shard struct {
+	id    int
+	ar    arena
+	stats counters
+	net   *network
+	done  chan int
+}
+
+//drain:parallelphase fixture root: models one shard's plan phase
+func (s *shard) phase(n *network) {
+	var tmp [4]int
+	tmp[s.id&3] = 1 // ok: array on the frame
+	var c counters
+	c.flits = 1           // ok: struct value on the frame
+	s.ar.slots[s.id] = 1  // ok: staged type
+	s.stats.occ[s.id] = 1 // ok: staged field
+	s.stats.flits++       // want `\[shardsafe\] phase is parallel-phase reachable: write to counters.flits, which is neither shard-local nor declared staging state`
+	s.net.credits = 0     // want `\[shardsafe\] phase is parallel-phase reachable: write to network.credits, which is neither shard-local nor declared staging state`
+	total++               // want `\[shardsafe\] phase is parallel-phase reachable: write to package-level variable total \(shared state with no shard owner\)`
+	*n = network{}        // want `\[shardsafe\] phase is parallel-phase reachable: write through \*network, which is not declared staging state`
+	s.done <- 1           // want `\[shardsafe\] phase is parallel-phase reachable: channel send from a phase body \(phases synchronize only at barriers\)`
+	s.helper()
+}
+
+// helper is reached transitively from the root: its writes are
+// classified too.
+func (s *shard) helper() {
+	s.net.credits++ // want `\[shardsafe\] helper is parallel-phase reachable: write to network.credits, which is neither shard-local nor declared staging state`
+}
+
+// idle is not parallel-phase reachable: writes here are fine.
+func idle(n *network) { n.credits = 9 }

@@ -9,6 +9,8 @@ import "math/bits"
 // load-bearing: the event engine must visit routers in exactly the
 // order the dense stepper's 0..N-1 scan does, or the shared RNG would
 // be consumed in a different sequence.
+//
+//drain:staged every parallel-phase bitset is a per-shard instance (parShard.alloc/inj) in which only bits of the shard's own [lo,hi) router range are ever set or cleared (shardsafe)
 type bitset struct {
 	words []uint64
 }

@@ -2,6 +2,8 @@ package noc
 
 // Counters aggregates the microarchitectural event counts the power model
 // consumes (internal/power) and the simulator reports.
+//
+//drain:staged parallel phases accumulate into their shard's private delta instance (parShard.ctr), absorbed serially in ascending shard order; the delta's aliased vnRouterLastActive rows are router-partitioned, so concurrent shard writes never touch the same entry (shardsafe)
 type Counters struct {
 	Created    int64 // packets entering injection queues
 	Injected   int64 // packets leaving injection queues into VCs

@@ -10,6 +10,8 @@ import (
 )
 
 // vcSlot is one virtual-channel buffer (single packet, VCT).
+//
+//drain:staged a slot belongs to one router's input port; parallel phases write only slots of routers their shard owns — arrivals and injections by destination router, upstream frees via per-shard staging drained for the owning shard (shardsafe)
 type vcSlot struct {
 	pkt      *Packet
 	reserved bool // claimed by an in-flight transfer
@@ -81,6 +83,8 @@ type Network struct {
 	// and behavior-preserving: a router with no occupied input VC can
 	// never produce a request, so no arbitration (and no RNG draw)
 	// happens there either way.
+	//
+	//drain:staged indexed by router; each parallel phase adjusts only entries of routers its shard owns (shardsafe)
 	occIn []int32
 
 	nextID int64
@@ -107,6 +111,8 @@ type Network struct {
 	// of outputs that would yield zero options (and so draw nothing).
 	// Links belong to exactly one source router, so stamps from routers
 	// sharing a cycle never collide (see noteWantOut).
+	//
+	//drain:staged indexed by link; a link belongs to exactly one source router, so plan workers stamp only links out of their own shard's routers (shardsafe)
 	wantOut []int64
 
 	// occLink[l] counts occupied VC buffers at the input port fed by link
@@ -114,7 +120,10 @@ type Network struct {
 	// router r. They let request gathering skip empty ports without
 	// scanning their slots. Invariant: occIn[r] equals occLocal[r] plus
 	// the occLink of r's inbound links (checked by CheckInvariants).
-	occLink  []int32
+	//
+	//drain:staged indexed by link; a link's head (buffering) router belongs to one shard, and phases adjust only links into their own routers (shardsafe)
+	occLink []int32
+	//drain:staged indexed by router; phases adjust only entries of routers their shard owns (shardsafe)
 	occLocal []int32
 
 	// linkDown marks unidirectional links failed by a live

@@ -125,6 +125,8 @@ type plannedOut struct {
 // bitsets span the full router domain (only bits in [lo,hi) are ever
 // set), so no two shards share a word and ascending iteration over
 // shards 0..K-1 visits routers in global ascending order.
+//
+//drain:staged per-shard by construction: each phase writes only its own instance's arenas and counters; the one cross-shard field, upOut, is written column-exclusively (shard s appends only to its own upOut[dst]) and drained at the next barrier in ascending source-shard order (shardsafe)
 type parShard struct {
 	lo, hi int
 	alloc  bitset
@@ -205,7 +207,9 @@ func newParallelEngine(cfg *Config) *parallelEngine {
 
 // bind lazily wires the per-shard counter deltas to the network's
 // authoritative VN-activity table (not yet allocated when newEngine
-// runs). Pure assignments after the first cycle's allocation.
+// runs).
+//
+//drain:coldpath one-time lazy wiring on the first Step; steady-state cycles see e.bound and never re-enter
 func (e *parallelEngine) bind(n *Network) {
 	for s := range e.shards {
 		e.shards[s].ctr = n.Counters.newShardDelta(n.cfg.VNets)

@@ -73,6 +73,8 @@ const (
 // gatherScratch is the per-allocator request-gathering scratch. The
 // serial engines use the Network's single instance; the parallel
 // engine's plan workers each own one so gathering can run concurrently.
+//
+//drain:staged one instance per plan worker (parShard.gs); the serial engines use the Network's own instance on the stepping goroutine (shardsafe)
 type gatherScratch struct {
 	reqs []request
 	// outs collects the output links stamped via noteWantOut for the

@@ -115,6 +115,8 @@ type canonical struct {
 	// (and so from the cache key): the shard count changes how fast a
 	// sweep computes, never what it computes. sim.Params.Shards carries
 	// the same tag, keeping the embedded Params encoding shard-free.
+	//
+	//drain:cachekey-exempt execution speed knob only; a sweep computed at any shard count answers the same request at every other from cache (TestKeyIgnoresShards)
 	Shards int `json:"-"`
 }
 

@@ -160,10 +160,14 @@ type Params struct {
 	// Results are byte-identical for every value — shards are a speed
 	// knob, not a model knob — so the field is excluded from the JSON
 	// form Normalized Params are cache-keyed by.
+	//
+	//drain:cachekey-exempt shard count changes how fast a run computes, never what it computes (byte-identity proven by TestParallelEngineDifferential), so equal requests at different shard counts must share a cache entry
 	Shards int `json:"-"`
 	// ParallelInline overrides the parallel engine's inline-cycle
 	// threshold (see noc.Config.ParallelInline; tests use -1 to force
 	// the phased pipeline). Excluded from cache keys like Shards.
+	//
+	//drain:cachekey-exempt inline threshold only picks between byte-identical serial and phased paths; results cannot depend on it
 	ParallelInline int `json:"-"`
 
 	// FaultSchedule lists live topology changes (link failures and
@@ -179,6 +183,8 @@ type Params struct {
 	// a fresh graph, which can never match). Routing is a pure function
 	// of the topology, so reuse cannot change results; excluded from
 	// cache keys like Shards.
+	//
+	//drain:cachekey-exempt a prebuilt table is a memoization of the pure routing function of the (already-keyed) topology parameters; reusing one cannot change results
 	RoutingTable *routing.Table `json:"-"`
 
 	// RNGMode selects the synthetic generator's draw discipline (see
