@@ -1,4 +1,8 @@
 GO ?= go
+# bench pipes `go test` through tee; bash + pipefail keeps a failing
+# bench run from silently producing stale artifacts (dash would report
+# tee's exit status instead).
+SHELL := /bin/bash
 
 .PHONY: check build vet lint test-race test-allocs bench bench-all fuzz results clean
 
@@ -27,7 +31,7 @@ test-race:
 	$(GO) test -race -short ./...
 
 test-allocs:
-	$(GO) test -run 'TestStepAllocs|TestGoldenCounters' -count=1 . ./internal/sim
+	$(GO) test -run 'TestStepAllocs|TestRunAllocsPerDeliveredPacket|TestGoldenCounters' -count=1 . ./internal/sim
 
 ## bench: run the hot-path benchmarks (BenchmarkStep's event/dense load
 ## points, BenchmarkStepSharded's shards=N scaling on the 64x64 mesh,
@@ -41,7 +45,7 @@ test-allocs:
 ## the event/dense and exact/counter sub-benchmarks give same-binary
 ## comparisons immune to machine drift.
 bench:
-	$(GO) test -bench='BenchmarkStep|BenchmarkFig11RNG' -benchmem -run=^$$ -count=1 . | tee BENCH_noc.txt
+	set -o pipefail; $(GO) test -bench='BenchmarkStep|BenchmarkFig11RNG' -benchmem -run=^$$ -count=1 . | tee BENCH_noc.txt
 	$(GO) run ./cmd/benchjson -out BENCH_noc.json \
 		-sha "$$(git rev-parse --short HEAD)$$(git diff --quiet HEAD -- . ':!BENCH_noc.json' ':!BENCH_noc.txt' || echo -dirty)" \
 		-date "$$(date -u +%F)" \

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+BenchmarkStep/MidLoad/event-8         	      10	  52269863 ns/op	     95657 cycles/sec	     10454 ns/cycle	 1161164 B/op	      34 allocs/op
+BenchmarkStep/MidLoad/dense-8         	      10	  49759290 ns/op	    100484 cycles/sec	      9952 ns/cycle	 1161062 B/op	      36 allocs/op
+BenchmarkStepAllocs-8                 	       1	 103049153 ns/op	         0 allocs/cycle
+PASS
+`
+
+func TestWithinBudgetPasses(t *testing.T) {
+	budget := `{"budgets":{"BenchmarkStep/MidLoad/event":120,"BenchmarkStep/MidLoad/dense":120}}`
+	var out strings.Builder
+	if err := run([]byte(budget), strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatalf("within-budget run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "34 allocs/op within budget 120") {
+		t.Errorf("missing pass report: %q", out.String())
+	}
+}
+
+func TestExceededBudgetFails(t *testing.T) {
+	budget := `{"budgets":{"BenchmarkStep/MidLoad/event":30,"BenchmarkStep/MidLoad/dense":30}}`
+	var out strings.Builder
+	err := run([]byte(budget), strings.NewReader(sampleBench), &out)
+	if err == nil {
+		t.Fatal("over-budget run passed")
+	}
+	// Both violations must be reported, in name order.
+	msg := err.Error()
+	di := strings.Index(msg, "dense: 36 allocs/op exceeds budget 30")
+	ei := strings.Index(msg, "event: 34 allocs/op exceeds budget 30")
+	if di < 0 || ei < 0 || di > ei {
+		t.Errorf("violation report = %q", msg)
+	}
+}
+
+func TestMissingBenchmarkFails(t *testing.T) {
+	budget := `{"budgets":{"BenchmarkStep/Saturation/event":150}}`
+	var out strings.Builder
+	err := run([]byte(budget), strings.NewReader(sampleBench), &out)
+	if err == nil || !strings.Contains(err.Error(), "missing from input") {
+		t.Fatalf("missing budgeted benchmark not flagged: %v", err)
+	}
+}
+
+func TestRejectsEmptyBudget(t *testing.T) {
+	var out strings.Builder
+	if err := run([]byte(`{}`), strings.NewReader(sampleBench), &out); err == nil {
+		t.Fatal("empty budget accepted")
+	}
+	if err := run([]byte(`not json`), strings.NewReader(sampleBench), &out); err == nil {
+		t.Fatal("corrupt budget accepted")
+	}
+}
+
+func TestParseStripsGomaxprocsSuffix(t *testing.T) {
+	got, err := parseAllocs(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkStep/MidLoad/event"] != 34 {
+		t.Errorf("parsed = %+v", got)
+	}
+	if _, ok := got["BenchmarkStepAllocs"]; ok {
+		t.Error("benchmark without allocs/op should be ignored")
+	}
+}

@@ -68,15 +68,36 @@ type RNGComparison struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// BusyCyclePoint pairs one hot benchmark's headline metrics in this run
+// against the previous recorded run: the busy-cycle cost before and
+// after whatever the commit changed. Unlike the same-binary ratios
+// (event_vs_dense, fast_vs_exact), this is a cross-binary — possibly
+// cross-machine — comparison, so treat the time speedup as indicative
+// and the allocation columns (which the runtime counts exactly) as the
+// hard numbers.
+type BusyCyclePoint struct {
+	Unit   string  `json:"unit"` // ns/cycle for Step points, ns/op for fig11
+	PrevNs float64 `json:"prev_ns"`
+	Ns     float64 `json:"ns"`
+	// Speedup is prev/now wall clock: >1 means this run is faster.
+	Speedup     float64 `json:"speedup"`
+	PrevAllocs  float64 `json:"prev_allocs_per_op"`
+	Allocs      float64 `json:"allocs_per_op"`
+	AllocsRatio float64 `json:"allocs_ratio"` // prev/now; >1 means fewer allocations now
+	PrevBytes   float64 `json:"prev_bytes_per_op"`
+	Bytes       float64 `json:"bytes_per_op"`
+}
+
 // Entry is one benchmark run, keyed by the commit it measured.
 type Entry struct {
-	SHA             string                   `json:"sha,omitempty"`
-	Date            string                   `json:"date,omitempty"`
-	Benchmarks      []Benchmark              `json:"benchmarks"`
-	EventVsDense    map[string]Comparison    `json:"event_vs_dense,omitempty"`
-	ParallelScaling map[string][]ShardPoint  `json:"parallel_scaling,omitempty"`
-	FastVsExact     map[string]RNGComparison `json:"fast_vs_exact,omitempty"`
-	Notes           []string                 `json:"notes,omitempty"`
+	SHA             string                    `json:"sha,omitempty"`
+	Date            string                    `json:"date,omitempty"`
+	Benchmarks      []Benchmark               `json:"benchmarks"`
+	EventVsDense    map[string]Comparison     `json:"event_vs_dense,omitempty"`
+	ParallelScaling map[string][]ShardPoint   `json:"parallel_scaling,omitempty"`
+	FastVsExact     map[string]RNGComparison  `json:"fast_vs_exact,omitempty"`
+	BusyCycle       map[string]BusyCyclePoint `json:"busy_cycle,omitempty"`
+	Notes           []string                  `json:"notes,omitempty"`
 }
 
 // Output is the BENCH_noc.json document: every recorded run, oldest
@@ -158,6 +179,15 @@ func merge(prev []byte, entry Entry) (*Output, error) {
 			}
 		}
 	}
+	// Pair the busy-cycle load points against the most recent run of a
+	// DIFFERENT commit, so re-benching one commit still compares against
+	// its predecessor rather than itself.
+	for i := len(doc.History) - 1; i >= 0; i-- {
+		if doc.History[i].SHA != entry.SHA {
+			entry.BusyCycle = compareBusy(&doc.History[i], &entry)
+			break
+		}
+	}
 	for i := range doc.History {
 		if entry.SHA != "" && doc.History[i].SHA == entry.SHA {
 			doc.History[i] = entry
@@ -166,6 +196,59 @@ func merge(prev []byte, entry Entry) (*Output, error) {
 	}
 	doc.History = append(doc.History, entry)
 	return doc, nil
+}
+
+// busyCycleNames are the load points the busy-cycle comparison tracks:
+// the event-engine Step points across the load sweep plus the
+// whole-experiment fig11 run.
+var busyCycleNames = []string{
+	"BenchmarkStep/LowLoad/event",
+	"BenchmarkStep/MidLoad/event",
+	"BenchmarkStep/Saturation/event",
+	"BenchmarkFig11RNG/rng=exact",
+}
+
+// compareBusy pairs cur's busy-cycle load points against prev's.
+func compareBusy(prev, cur *Entry) map[string]BusyCyclePoint {
+	find := func(e *Entry, name string) *Benchmark {
+		for i := range e.Benchmarks {
+			if e.Benchmarks[i].Name == name {
+				return &e.Benchmarks[i]
+			}
+		}
+		return nil
+	}
+	out := map[string]BusyCyclePoint{}
+	for _, name := range busyCycleNames {
+		pb, cb := find(prev, name), find(cur, name)
+		if pb == nil || cb == nil {
+			continue
+		}
+		unit := "ns/cycle"
+		pv, pok := pb.Metrics[unit]
+		cv, cok := cb.Metrics[unit]
+		if !pok || !cok {
+			unit = "ns/op"
+			pv, pok = pb.Metrics[unit]
+			cv, cok = cb.Metrics[unit]
+		}
+		if !pok || !cok || pv <= 0 || cv <= 0 {
+			continue
+		}
+		pt := BusyCyclePoint{
+			Unit: unit, PrevNs: pv, Ns: cv, Speedup: pv / cv,
+			PrevAllocs: pb.Metrics["allocs/op"], Allocs: cb.Metrics["allocs/op"],
+			PrevBytes: pb.Metrics["B/op"], Bytes: cb.Metrics["B/op"],
+		}
+		if pt.Allocs > 0 {
+			pt.AllocsRatio = pt.PrevAllocs / pt.Allocs
+		}
+		out[name] = pt
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // parse reads benchstat-compatible benchmark text: lines of the form

@@ -181,6 +181,50 @@ func TestMergeFoldsLegacyDocument(t *testing.T) {
 	}
 }
 
+// merge must pair the busy-cycle load points of the incoming entry
+// against the most recent entry of a different SHA — including when the
+// incoming entry replaces its own earlier run.
+func TestMergeComputesBusyCycle(t *testing.T) {
+	mk := func(sha string, ns, allocs, bytes float64) Entry {
+		return Entry{SHA: sha, Benchmarks: []Benchmark{{
+			Name:       "BenchmarkStep/MidLoad/event",
+			Iterations: 100,
+			Metrics:    map[string]float64{"ns/cycle": ns, "allocs/op": allocs, "B/op": bytes},
+		}}}
+	}
+	doc, err := merge(nil, mk("aaa", 13000, 32000, 4.0e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.History[0].BusyCycle != nil {
+		t.Fatalf("first entry has nothing to compare against: %+v", doc.History[0].BusyCycle)
+	}
+	prev, _ := json.Marshal(doc)
+	doc, err = merge(prev, mk("bbb", 6500, 3200, 1.0e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, ok := doc.History[1].BusyCycle["BenchmarkStep/MidLoad/event"]
+	if !ok {
+		t.Fatalf("busy_cycle missing: %+v", doc.History[1])
+	}
+	if bc.Unit != "ns/cycle" || bc.PrevNs != 13000 || bc.Ns != 6500 || bc.Speedup != 2 {
+		t.Errorf("time pairing = %+v", bc)
+	}
+	if bc.PrevAllocs != 32000 || bc.Allocs != 3200 || bc.AllocsRatio != 10 {
+		t.Errorf("alloc pairing = %+v", bc)
+	}
+	// Re-benching bbb must still pair against aaa, not against itself.
+	prev, _ = json.Marshal(doc)
+	doc, err = merge(prev, mk("bbb", 13000, 32000, 4.0e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc := doc.History[1].BusyCycle["BenchmarkStep/MidLoad/event"]; bc.Speedup != 1 || bc.PrevNs != 13000 {
+		t.Errorf("same-SHA re-merge pairing = %+v", bc)
+	}
+}
+
 func TestMergeRejectsCorruptPrev(t *testing.T) {
 	if _, err := merge([]byte("{not json"), Entry{}); err == nil {
 		t.Fatal("corrupt previous file accepted")

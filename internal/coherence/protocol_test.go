@@ -31,18 +31,19 @@ func TestPrewarmInstallsLines(t *testing.T) {
 		t.Fatal(err)
 	}
 	for c, nd := range sys.nodes {
-		if len(nd.lines) != 32 {
-			t.Fatalf("core %d has %d lines after prewarm, want 32", c, len(nd.lines))
+		if nd.lines.Len() != 32 {
+			t.Fatalf("core %d has %d lines after prewarm, want 32", c, nd.lines.Len())
 		}
-		for addr, st := range nd.lines {
+		nd.lines.Each(func(addr int64, st LineState) bool {
 			if st != Exclusive {
 				t.Fatalf("prewarmed line %d in state %d, want Exclusive", addr, st)
 			}
-			dl := sys.nodes[sys.home(addr)].dir[addr]
-			if dl == nil || dl.owner != c || dl.state != Modified {
+			dl, ok := sys.nodes[sys.home(addr)].dir.Get(addr)
+			if !ok || dl.owner != c || dl.state != Modified {
 				t.Fatalf("directory does not track core %d as owner of %d", c, addr)
 			}
-		}
+			return true
+		})
 	}
 }
 
@@ -56,8 +57,8 @@ func TestPrewarmRespectsCapacity(t *testing.T) {
 	}
 	// Prewarm caps at 3/4 of L1 capacity.
 	for c, nd := range sys.nodes {
-		if len(nd.lines) > 48 {
-			t.Fatalf("core %d prewarmed %d lines; cap is 48", c, len(nd.lines))
+		if nd.lines.Len() > 48 {
+			t.Fatalf("core %d prewarmed %d lines; cap is 48", c, nd.lines.Len())
 		}
 	}
 }
@@ -121,12 +122,16 @@ func TestWriteUpgradeFromShared(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := int64(2) // homed at node 2
+	lineAt := func(c int) LineState {
+		st, _ := sys.nodes[c].lines.Get(addr)
+		return st
+	}
 	readAt := func(c int) {
 		nd := sys.nodes[c]
-		nd.mshrs[addr] = &mshr{addr: addr}
+		nd.mshrs.Put(addr, &mshr{addr: addr})
 		nd.opsIssued++
 		sys.send(c, sys.home(addr), Msg{Type: GetS, Addr: addr, Requester: c})
-		for i := 0; i < 1000 && nd.lines[addr] == Invalid; i++ {
+		for i := 0; i < 1000 && lineAt(c) == Invalid; i++ {
 			n.Step()
 			sys.Tick()
 		}
@@ -135,25 +140,25 @@ func TestWriteUpgradeFromShared(t *testing.T) {
 	settle(t, n, sys)
 	readAt(1)
 	settle(t, n, sys)
-	if sys.nodes[0].lines[addr] != Shared || sys.nodes[1].lines[addr] != Shared {
+	if lineAt(0) != Shared || lineAt(1) != Shared {
 		t.Fatalf("states after two reads: %d, %d (want Shared, Shared)",
-			sys.nodes[0].lines[addr], sys.nodes[1].lines[addr])
+			lineAt(0), lineAt(1))
 	}
 	// Writer at node 1: S→M upgrade via GetM.
 	nd1 := sys.nodes[1]
-	delete(nd1.lines, addr)
-	nd1.mshrs[addr] = &mshr{addr: addr, write: true}
+	nd1.lines.Delete(addr)
+	nd1.mshrs.Put(addr, &mshr{addr: addr, write: true})
 	nd1.opsIssued++
 	sys.send(1, sys.home(addr), Msg{Type: GetM, Addr: addr, Requester: 1})
-	for i := 0; i < 1000 && nd1.lines[addr] != Modified; i++ {
+	for i := 0; i < 1000 && lineAt(1) != Modified; i++ {
 		n.Step()
 		sys.Tick()
 	}
 	settle(t, n, sys)
-	if nd1.lines[addr] != Modified {
+	if lineAt(1) != Modified {
 		t.Fatal("writer did not reach Modified")
 	}
-	if _, has := sys.nodes[0].lines[addr]; has {
+	if _, has := sys.nodes[0].lines.Get(addr); has {
 		t.Error("old sharer not invalidated")
 	}
 	if sys.stats.MsgsByType[Inv] == 0 {
@@ -172,13 +177,13 @@ func TestStalePutMAfterForward(t *testing.T) {
 	}
 	addr := int64(3)
 	// Owner at node 0 (simulate established state).
-	sys.nodes[0].lines[addr] = Modified
-	sys.nodes[sys.home(addr)].dir[addr] = &dirLine{state: Modified, owner: 0, sharers: map[int]bool{}}
+	sys.nodes[0].lines.Put(addr, Modified)
+	sys.nodes[sys.home(addr)].dir.Put(addr, &dirLine{state: Modified, owner: 0, sharers: newSharerSet(len(sys.nodes))})
 	// Owner writes back at the same time a reader requests.
-	delete(sys.nodes[0].lines, addr)
+	sys.nodes[0].lines.Delete(addr)
 	sys.send(0, sys.home(addr), Msg{Type: PutM, Addr: addr, Requester: 0})
 	nd1 := sys.nodes[1]
-	nd1.mshrs[addr] = &mshr{addr: addr}
+	nd1.mshrs.Put(addr, &mshr{addr: addr})
 	nd1.opsIssued++
 	sys.send(1, sys.home(addr), Msg{Type: GetS, Addr: addr, Requester: 1})
 	for i := 0; i < 2000 && nd1.opsCompleted == 0; i++ {

@@ -2,9 +2,11 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
 	"slices"
 
+	"drain/internal/dense"
 	"drain/internal/noc"
 )
 
@@ -73,11 +75,28 @@ type mshr struct {
 	completed bool // waiting only to send Unblock / perform fill
 }
 
+// sharerSet is a core-index bitset: the directory's sharer list.
+// Iteration ascends by core index, which is exactly the order the old
+// map representation produced after its collect-and-sort pass — so the
+// invalidation send order (and every RNG-visible effect downstream) is
+// unchanged.
+type sharerSet []uint64
+
+func newSharerSet(cores int) sharerSet { return make(sharerSet, (cores+63)/64) }
+
+func (ss sharerSet) add(c int) { ss[c>>6] |= 1 << (c & 63) }
+
+func (ss sharerSet) reset() {
+	for i := range ss {
+		ss[i] = 0
+	}
+}
+
 // dirLine is the directory's view of one cache line.
 type dirLine struct {
 	state   LineState // Invalid, Shared or Modified (dir-level)
 	owner   int
-	sharers map[int]bool
+	sharers sharerSet
 	// busy: a transaction is in flight; new requests for the line stall.
 	busy       bool
 	needDirAck bool
@@ -85,11 +104,15 @@ type dirLine struct {
 	gotUnblock bool
 }
 
-// node is one core+L1+directory-slice tile.
+// node is one core+L1+directory-slice tile. The three per-address
+// structures are open-addressed dense tables (internal/dense), not maps:
+// the L1 lookup, MSHR check and directory fetch run on every consumed
+// message and every issued access, and the dense tables keep that path
+// free of mapaccess/aeshash work and of per-run iteration nondeterminism.
 type node struct {
-	lines map[int64]LineState
-	mshrs map[int64]*mshr
-	dir   map[int64]*dirLine
+	lines dense.Table[LineState]
+	mshrs dense.Table[*mshr]
+	dir   dense.Table[*dirLine]
 
 	opsIssued    int64
 	opsCompleted int64
@@ -118,10 +141,9 @@ type System struct {
 	rng   *rand.Rand
 	stats Stats
 
-	// Scratch for sorting map keys before order-sensitive operations
-	// (Go map iteration order is randomized per run; anything that sends
-	// messages or consumes RNG draws in map order would make runs with
-	// the same seed diverge).
+	// Scratch buffers for order-sensitive collection passes: completed
+	// MSHR addresses (sorted — retry priority is address order) and the
+	// sharer list walked off a dirLine's bitset (already ascending).
 	scrAddrs   []int64
 	scrSharers []int
 }
@@ -142,11 +164,7 @@ func New(net *noc.Network, cfg Config) (*System, error) {
 		rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5bd1e995)),
 	}
 	for i := 0; i < net.Graph().N(); i++ {
-		s.nodes = append(s.nodes, &node{
-			lines: make(map[int64]LineState),
-			mshrs: make(map[int64]*mshr),
-			dir:   make(map[int64]*dirLine),
-		})
+		s.nodes = append(s.nodes, &node{})
 	}
 	if pw, ok := cfg.Gen.(Prewarmer); ok {
 		s.prewarm(pw)
@@ -163,9 +181,9 @@ func (s *System) prewarm(pw Prewarmer) {
 			if i >= limit {
 				break
 			}
-			nd.lines[addr] = Exclusive
+			nd.lines.Put(addr, Exclusive)
 			home := s.nodes[s.home(addr)]
-			home.dir[addr] = &dirLine{state: Modified, owner: c, sharers: make(map[int]bool)}
+			home.dir.Put(addr, &dirLine{state: Modified, owner: c, sharers: newSharerSet(len(s.nodes))})
 		}
 	}
 }
@@ -198,12 +216,12 @@ func (s *System) Done() bool {
 
 // Snapshot is a diagnostic view of protocol state, for debugging stalls.
 type Snapshot struct {
-	PendingMSHRs   int // outstanding misses across all cores
-	CompletedWait  int // MSHRs finished but waiting for injection capacity
-	BusyDirLines   int // directory lines blocked on Unblock/DirAck
-	InjQueued      int // messages waiting in injection queues
-	EjQueued       int // messages waiting in ejection queues
-	NetPackets     int // everything the network still holds
+	PendingMSHRs   int   // outstanding misses across all cores
+	CompletedWait  int   // MSHRs finished but waiting for injection capacity
+	BusyDirLines   int   // directory lines blocked on Unblock/DirAck
+	InjQueued      int   // messages waiting in injection queues
+	EjQueued       int   // messages waiting in ejection queues
+	NetPackets     int   // everything the network still holds
 	SampleBusyAddr int64 // highest blocked directory address, -1 if none
 	SampleMSHRAddr int64 // highest outstanding miss address, -1 if none
 }
@@ -213,24 +231,24 @@ func (s *System) DebugSnapshot() Snapshot {
 	var snap Snapshot
 	snap.SampleBusyAddr, snap.SampleMSHRAddr = -1, -1
 	for r, nd := range s.nodes {
-		snap.PendingMSHRs += len(nd.mshrs)
-		// The sample fields take the maximum address rather than the
-		// last one visited, so the snapshot is identical across runs
-		// despite Go's randomized map iteration order.
-		//drain:orderfree count and max-reduce only; both are commutative
-		for _, ms := range nd.mshrs {
+		snap.PendingMSHRs += nd.mshrs.Len()
+		// The sample fields take the maximum address rather than the last
+		// one visited; combined with dense.Table's deterministic walk the
+		// snapshot is identical across runs by construction.
+		nd.mshrs.Each(func(_ int64, ms *mshr) bool {
 			if ms.completed {
 				snap.CompletedWait++
 			}
 			snap.SampleMSHRAddr = max(snap.SampleMSHRAddr, ms.addr)
-		}
-		//drain:orderfree count and max-reduce only; both are commutative
-		for addr, dl := range nd.dir {
+			return true
+		})
+		nd.dir.Each(func(addr int64, dl *dirLine) bool {
 			if dl.busy {
 				snap.BusyDirLines++
 				snap.SampleBusyAddr = max(snap.SampleBusyAddr, addr)
 			}
-		}
+			return true
+		})
 		for c := 0; c < NumClasses; c++ {
 			snap.InjQueued += s.net.InjQueueLen(r, c)
 			snap.EjQueued += s.net.EjectedLen(r, c)
@@ -298,6 +316,9 @@ func (s *System) consumeResponses(r int) {
 			return
 		}
 		m := p.Payload.(Msg)
+		// The message is fully copied out; the carrier packet's life ends
+		// here, so hand it back to the network's free-list.
+		s.net.ReleasePacket(p)
 		switch m.Type {
 		case Data:
 			s.onData(r, m)
@@ -317,8 +338,8 @@ func (s *System) consumeResponses(r int) {
 
 func (s *System) onData(r int, m Msg) {
 	nd := s.nodes[r]
-	ms := nd.mshrs[m.Addr]
-	if ms == nil {
+	ms, ok := nd.mshrs.Get(m.Addr)
+	if !ok {
 		return // stale (transaction raced with writeback); drop
 	}
 	ms.gotData = true
@@ -329,8 +350,8 @@ func (s *System) onData(r int, m Msg) {
 
 func (s *System) onInvAck(r int, m Msg) {
 	nd := s.nodes[r]
-	ms := nd.mshrs[m.Addr]
-	if ms == nil {
+	ms, ok := nd.mshrs.Get(m.Addr)
+	if !ok {
 		return
 	}
 	ms.gotAcks++
@@ -338,14 +359,14 @@ func (s *System) onInvAck(r int, m Msg) {
 }
 
 func (s *System) onDirAck(r int, m Msg) {
-	if dl := s.nodes[r].dir[m.Addr]; dl != nil {
+	if dl, ok := s.nodes[r].dir.Get(m.Addr); ok {
 		dl.gotDirAck = true
 		maybeUnblockDir(dl)
 	}
 }
 
 func (s *System) onUnblock(r int, m Msg) {
-	if dl := s.nodes[r].dir[m.Addr]; dl != nil {
+	if dl, ok := s.nodes[r].dir.Get(m.Addr); ok {
 		dl.gotUnblock = true
 		maybeUnblockDir(dl)
 	}
@@ -385,20 +406,20 @@ func (s *System) tryFinish(r int, ms *mshr) bool {
 		return false
 	}
 	if needWB {
-		delete(nd.lines, victim)
+		nd.lines.Delete(victim)
 		s.send(r, s.home(victim), Msg{Type: PutM, Addr: victim, Requester: r})
 	} else if victim >= 0 {
-		delete(nd.lines, victim) // silent S/E eviction
+		nd.lines.Delete(victim) // silent S/E eviction
 	}
 	if ms.write {
-		nd.lines[ms.addr] = Modified
+		nd.lines.Put(ms.addr, Modified)
 	} else if ms.dataExcl {
-		nd.lines[ms.addr] = Exclusive
+		nd.lines.Put(ms.addr, Exclusive)
 	} else {
-		nd.lines[ms.addr] = Shared
+		nd.lines.Put(ms.addr, Shared)
 	}
 	s.send(r, s.home(ms.addr), Msg{Type: Unblock, Addr: ms.addr, Requester: r})
-	delete(nd.mshrs, ms.addr)
+	nd.mshrs.Delete(ms.addr)
 	nd.opsCompleted++
 	s.stats.TxCompleted++
 	return true
@@ -408,24 +429,24 @@ func (s *System) tryFinish(r int, ms *mshr) bool {
 // (-1,false) when no eviction is needed.
 func (s *System) pickVictim(r int) (int64, bool) {
 	nd := s.nodes[r]
-	if len(nd.lines) < s.cfg.L1Lines {
+	if nd.lines.Len() < s.cfg.L1Lines {
 		return -1, false
 	}
-	// Random replacement, independent of map iteration order: one RNG
-	// draw salts an integer hash and the line with the smallest hash is
-	// evicted. (Reservoir sampling over the map is not reproducible —
-	// the draw count is fixed but which element survives follows Go's
-	// per-run-randomized iteration order.)
+	// Random replacement: one RNG draw salts an integer hash and the
+	// line with the smallest hash (address tie-break) is evicted — a
+	// commutative reduction, so it selects the same victim under any
+	// visit order, and dense.Table's walk is deterministic anyway.
 	salt := s.rng.Uint64()
 	victim, best, found := int64(0), uint64(0), false
-	//drain:orderfree min-hash reduction with address tie-break selects the same victim under any visit order
-	for a := range nd.lines {
+	nd.lines.Each(func(a int64, _ LineState) bool {
 		h := mix64(uint64(a) ^ salt)
 		if !found || h < best || (h == best && a < victim) {
 			victim, best, found = a, h, true
 		}
-	}
-	return victim, nd.lines[victim] == Modified
+		return true
+	})
+	st, _ := nd.lines.Get(victim)
+	return victim, st == Modified
 }
 
 // mix64 is the splitmix64 finalizer, used as the victim-selection hash.
@@ -444,14 +465,19 @@ func mix64(x uint64) uint64 {
 func (s *System) retryCompletions(r int) {
 	nd := s.nodes[r]
 	addrs := s.scrAddrs[:0]
-	for a, ms := range nd.mshrs {
+	nd.mshrs.Each(func(a int64, ms *mshr) bool {
 		if ms.completed {
 			addrs = append(addrs, a)
 		}
-	}
+		return true
+	})
+	// The sort stays: address order is the protocol's retry priority
+	// (dense.Table walks in slot order, which is not sorted).
 	slices.Sort(addrs)
 	for _, a := range addrs {
-		s.tryFinish(r, nd.mshrs[a])
+		if ms, ok := nd.mshrs.Get(a); ok {
+			s.tryFinish(r, ms)
+		}
 	}
 	s.scrAddrs = addrs[:0]
 }
@@ -471,8 +497,8 @@ func (s *System) consumeForwards(r int) {
 			if !s.canSend(r, ClassResp, 1) {
 				return // stall: ack does not fit
 			}
-			s.net.PopEjected(r, ClassFwd)
-			delete(nd.lines, m.Addr)
+			s.net.ReleasePacket(s.net.PopEjected(r, ClassFwd))
+			nd.lines.Delete(m.Addr)
 			s.send(r, m.Requester, Msg{Type: InvAck, Addr: m.Addr, Requester: m.Requester})
 		case FwdGetS, FwdGetM:
 			// Owner supplies Data to the requester and acknowledges the
@@ -480,11 +506,11 @@ func (s *System) consumeForwards(r int) {
 			if !s.canSend(r, ClassResp, 2) {
 				return
 			}
-			s.net.PopEjected(r, ClassFwd)
+			s.net.ReleasePacket(s.net.PopEjected(r, ClassFwd))
 			if m.Type == FwdGetS {
-				nd.lines[m.Addr] = Shared
+				nd.lines.Put(m.Addr, Shared)
 			} else {
-				delete(nd.lines, m.Addr)
+				nd.lines.Delete(m.Addr)
 			}
 			s.send(r, m.Requester, Msg{Type: Data, Addr: m.Addr, Requester: m.Requester})
 			s.send(r, s.home(m.Addr), Msg{Type: DirAck, Addr: m.Addr, Requester: m.Requester})
@@ -504,10 +530,10 @@ func (s *System) consumeRequests(r int) {
 			return
 		}
 		m := p.Payload.(Msg)
-		dl := nd.dir[m.Addr]
-		if dl == nil {
-			dl = &dirLine{state: Invalid, sharers: make(map[int]bool)}
-			nd.dir[m.Addr] = dl
+		dl, ok := nd.dir.Get(m.Addr)
+		if !ok {
+			dl = &dirLine{state: Invalid, sharers: newSharerSet(len(s.nodes))}
+			nd.dir.Put(m.Addr, dl)
 		}
 		if m.Type != PutM && dl.busy {
 			return // head-of-line stall until Unblock arrives
@@ -515,7 +541,7 @@ func (s *System) consumeRequests(r int) {
 		if !s.processRequest(r, m, dl) {
 			return // injection capacity stall
 		}
-		s.net.PopEjected(r, ClassReq)
+		s.net.ReleasePacket(s.net.PopEjected(r, ClassReq))
 	}
 }
 
@@ -536,7 +562,7 @@ func (s *System) processRequest(r int, m Msg, dl *dirLine) bool {
 				dl.state = Modified // E at the core: dir tracks as owned
 				dl.owner = c
 			} else {
-				dl.sharers[c] = true
+				dl.sharers.add(c)
 			}
 			dl.busy, dl.gotUnblock = true, false
 		case Modified:
@@ -555,8 +581,8 @@ func (s *System) processRequest(r int, m Msg, dl *dirLine) bool {
 			}
 			s.send(r, dl.owner, Msg{Type: FwdGetS, Addr: m.Addr, Requester: c})
 			dl.state = Shared
-			dl.sharers[dl.owner] = true
-			dl.sharers[c] = true
+			dl.sharers.add(dl.owner)
+			dl.sharers.add(c)
 			dl.owner = -1
 			dl.busy, dl.needDirAck, dl.gotDirAck, dl.gotUnblock = true, true, false, false
 		}
@@ -570,15 +596,19 @@ func (s *System) processRequest(r int, m Msg, dl *dirLine) bool {
 			dl.state, dl.owner = Modified, c
 			dl.busy, dl.gotUnblock = true, false
 		case Shared:
-			// Collect and sort the sharers: sending the invalidations in
-			// map order would vary the injection order between runs.
+			// Walk the sharer bitset in ascending core order — the same
+			// order the old collect-and-sort pass produced, so the
+			// invalidation injection sequence is unchanged.
 			sharers := s.scrSharers[:0]
-			for sh := range dl.sharers {
-				if sh != c {
-					sharers = append(sharers, sh)
+			for w, word := range dl.sharers {
+				for word != 0 {
+					sh := w<<6 + bits.TrailingZeros64(word)
+					word &= word - 1
+					if sh != c {
+						sharers = append(sharers, sh)
+					}
 				}
 			}
-			slices.Sort(sharers)
 			invs := len(sharers)
 			if !s.canSend(r, ClassResp, 1) || !s.canSend(r, ClassFwd, invs) {
 				s.scrSharers = sharers[:0]
@@ -589,7 +619,7 @@ func (s *System) processRequest(r int, m Msg, dl *dirLine) bool {
 			}
 			s.scrSharers = sharers[:0]
 			s.send(r, c, Msg{Type: Data, Addr: m.Addr, Requester: c, Acks: invs, Excl: true})
-			dl.sharers = make(map[int]bool)
+			dl.sharers.reset()
 			dl.state, dl.owner = Modified, c
 			dl.busy, dl.gotUnblock = true, false
 		case Modified:
@@ -634,11 +664,11 @@ func (s *System) coreIssue(r int) {
 		return
 	}
 	addr, write := s.cfg.Gen.Next(r, s.rng)
-	st, ok := nd.lines[addr]
+	st, ok := nd.lines.Get(addr)
 	if ok && (!write && st != Invalid || write && (st == Exclusive || st == Modified)) {
 		// Hit. E→M upgrade on write is silent at the L1.
 		if write {
-			nd.lines[addr] = Modified
+			nd.lines.Put(addr, Modified)
 		}
 		nd.hits++
 		nd.opsIssued++
@@ -646,19 +676,19 @@ func (s *System) coreIssue(r int) {
 		return
 	}
 	if write && st == Shared {
-		delete(nd.lines, addr) // upgrade handled as a fresh GetM below
+		nd.lines.Delete(addr) // upgrade handled as a fresh GetM below
 	}
 	// Miss: need an MSHR and request injection capacity.
-	if _, pending := nd.mshrs[addr]; pending {
+	if _, pending := nd.mshrs.Get(addr); pending {
 		nd.blockedCyc++
 		return
 	}
-	if len(nd.mshrs) >= s.cfg.MSHRs || !s.canSend(r, ClassReq, 1) {
+	if nd.mshrs.Len() >= s.cfg.MSHRs || !s.canSend(r, ClassReq, 1) {
 		nd.blockedCyc++
 		return
 	}
 	ms := &mshr{addr: addr, write: write, issuedAt: s.net.Cycle()}
-	nd.mshrs[addr] = ms
+	nd.mshrs.Put(addr, ms)
 	nd.opsIssued++
 	nd.misses++
 	t := GetS

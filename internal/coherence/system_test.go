@@ -98,7 +98,7 @@ func TestSingleTransactionFlows(t *testing.T) {
 	// Read miss at node 3 for an address homed at node 7.
 	addr := int64(7)
 	nd := sys.nodes[3]
-	nd.mshrs[addr] = &mshr{addr: addr}
+	nd.mshrs.Put(addr, &mshr{addr: addr})
 	nd.opsIssued++
 	sys.send(3, sys.home(addr), Msg{Type: GetS, Addr: addr, Requester: 3})
 	for i := 0; i < 500 && nd.opsCompleted == 0; i++ {
@@ -109,12 +109,12 @@ func TestSingleTransactionFlows(t *testing.T) {
 		t.Fatal("read miss transaction never completed")
 	}
 	settle(t, n, sys) // let the Unblock reach the directory
-	if st := nd.lines[addr]; st != Exclusive {
+	if st, _ := nd.lines.Get(addr); st != Exclusive {
 		t.Errorf("line state after exclusive read = %d, want Exclusive", st)
 	}
 	// Directory must be unblocked and track node 3 as owner.
-	dl := sys.nodes[7].dir[addr]
-	if dl == nil || dl.busy {
+	dl, ok := sys.nodes[7].dir.Get(addr)
+	if !ok || dl.busy {
 		t.Fatalf("directory line busy after unblock: %+v", dl)
 	}
 	if dl.state != Modified || dl.owner != 3 {
@@ -123,7 +123,7 @@ func TestSingleTransactionFlows(t *testing.T) {
 
 	// Now a second reader: must trigger FwdGetS to node 3.
 	nd5 := sys.nodes[5]
-	nd5.mshrs[addr] = &mshr{addr: addr}
+	nd5.mshrs.Put(addr, &mshr{addr: addr})
 	nd5.opsIssued++
 	sys.send(5, sys.home(addr), Msg{Type: GetS, Addr: addr, Requester: 5})
 	for i := 0; i < 500 && nd5.opsCompleted == 0; i++ {
@@ -137,13 +137,15 @@ func TestSingleTransactionFlows(t *testing.T) {
 	if sys.stats.MsgsByType[FwdGetS] == 0 {
 		t.Error("FwdGetS never sent")
 	}
-	if nd.lines[addr] != Shared || nd5.lines[addr] != Shared {
+	stA, _ := nd.lines.Get(addr)
+	stB, _ := nd5.lines.Get(addr)
+	if stA != Shared || stB != Shared {
 		t.Error("both caches should hold the line Shared")
 	}
 
 	// Writer at node 9: invalidates both sharers, collects 2 acks.
 	nd9 := sys.nodes[9]
-	nd9.mshrs[addr] = &mshr{addr: addr, write: true}
+	nd9.mshrs.Put(addr, &mshr{addr: addr, write: true})
 	nd9.opsIssued++
 	sys.send(9, sys.home(addr), Msg{Type: GetM, Addr: addr, Requester: 9})
 	for i := 0; i < 500 && nd9.opsCompleted == 0; i++ {
@@ -158,10 +160,10 @@ func TestSingleTransactionFlows(t *testing.T) {
 		t.Errorf("Inv/InvAck = %d/%d, want 2/2",
 			sys.stats.MsgsByType[Inv], sys.stats.MsgsByType[InvAck])
 	}
-	if nd9.lines[addr] != Modified {
+	if st, _ := nd9.lines.Get(addr); st != Modified {
 		t.Error("writer should hold Modified")
 	}
-	if _, has := nd.lines[addr]; has {
+	if _, has := nd.lines.Get(addr); has {
 		t.Error("old sharer still holds the line")
 	}
 }
@@ -244,8 +246,8 @@ func TestMSHRBoundRespected(t *testing.T) {
 		n.Step()
 		sys.Tick()
 		for _, nd := range sys.nodes {
-			if len(nd.mshrs) > 2 {
-				t.Fatalf("MSHR bound violated: %d", len(nd.mshrs))
+			if nd.mshrs.Len() > 2 {
+				t.Fatalf("MSHR bound violated: %d", nd.mshrs.Len())
 			}
 		}
 	}
@@ -270,8 +272,8 @@ func TestL1CapacityAndWritebacks(t *testing.T) {
 		n.Step()
 		sys.Tick()
 		for _, nd := range sys.nodes {
-			if len(nd.lines) > 16 {
-				t.Fatalf("L1 capacity violated: %d lines", len(nd.lines))
+			if nd.lines.Len() > 16 {
+				t.Fatalf("L1 capacity violated: %d lines", nd.lines.Len())
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // runHotAlloc turns the TestStepAllocs runtime guard (0 allocs/cycle in
@@ -21,6 +22,9 @@ import (
 //     struct field, or a local derived from one via s[:0]/append)
 //   - escaping function literals and method values (closure allocation)
 //   - go statements
+//   - direct construction of a pool-owned type (Config.PooledTypes):
+//     &T{...} or new(T) bypasses the type's free-list, so it gets a
+//     pool-specific diagnostic pointing at the sanctioned constructor
 //
 // Functions marked //drain:coldpath <reason> are pruned from the walk:
 // the escape hatch for amortized-growth and failure paths that cannot
@@ -35,7 +39,7 @@ func runHotAlloc(c *Config, pkgs []*Package) []Finding {
 		if !d.pkg.Target {
 			continue
 		}
-		out = append(out, checkHotFunc(d.pkg, fn, d.decl)...)
+		out = append(out, checkHotFunc(c, d.pkg, fn, d.decl)...)
 	}
 	return out
 }
@@ -47,7 +51,7 @@ func pruneColdpath(d declInfo) bool {
 }
 
 // checkHotFunc scans one hot function body for allocation sources.
-func checkHotFunc(p *Package, fn *types.Func, decl *ast.FuncDecl) []Finding {
+func checkHotFunc(c *Config, p *Package, fn *types.Func, decl *ast.FuncDecl) []Finding {
 	var out []Finding
 	scratch := scratchVars(p, decl)
 	parents := parentMap(decl)
@@ -56,7 +60,7 @@ func checkHotFunc(p *Package, fn *types.Func, decl *ast.FuncDecl) []Finding {
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.CallExpr:
-			out = append(out, checkHotCall(p, name, node, scratch)...)
+			out = append(out, checkHotCall(c, p, name, node, scratch)...)
 		case *ast.BinaryExpr:
 			if node.Op == token.ADD && isStringType(p.typeOf(node)) {
 				out = append(out, p.finding("hotalloc", node,
@@ -83,8 +87,13 @@ func checkHotFunc(p *Package, fn *types.Func, decl *ast.FuncDecl) []Finding {
 					"%s is hot-path reachable: map literal allocates", name))
 			default:
 				if u, ok := parents[node].(*ast.UnaryExpr); ok && u.Op == token.AND {
-					out = append(out, p.finding("hotalloc", node,
-						"%s is hot-path reachable: &%s{...} escapes to the heap", name, p.typeStr(t)))
+					if isPooledType(c, t) {
+						out = append(out, p.finding("hotalloc", node,
+							"%s is hot-path reachable: &%s{...} bypasses the %s free-list pool (acquire through its pool constructor; the pool's coldpath miss is the only sanctioned allocation site)", name, p.typeStr(t), p.typeStr(t)))
+					} else {
+						out = append(out, p.finding("hotalloc", node,
+							"%s is hot-path reachable: &%s{...} escapes to the heap", name, p.typeStr(t)))
+					}
 				}
 			}
 		case *ast.FuncLit:
@@ -111,7 +120,7 @@ func checkHotFunc(p *Package, fn *types.Func, decl *ast.FuncDecl) []Finding {
 
 // checkHotCall handles builtins (make/new/append), fmt, and boxing at
 // call sites.
-func checkHotCall(p *Package, name string, call *ast.CallExpr, scratch map[types.Object]bool) []Finding {
+func checkHotCall(c *Config, p *Package, name string, call *ast.CallExpr, scratch map[types.Object]bool) []Finding {
 	var out []Finding
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -121,8 +130,13 @@ func checkHotCall(p *Package, name string, call *ast.CallExpr, scratch map[types
 				out = append(out, p.finding("hotalloc", call,
 					"%s is hot-path reachable: make allocates (pre-size in the constructor or reuse scratch; mark amortized growth //drain:coldpath)", name))
 			case "new":
-				out = append(out, p.finding("hotalloc", call,
-					"%s is hot-path reachable: new allocates", name))
+				if len(call.Args) == 1 && isPooledType(c, p.typeOf(call.Args[0])) {
+					out = append(out, p.finding("hotalloc", call,
+						"%s is hot-path reachable: new(%s) bypasses the %s free-list pool (acquire through its pool constructor; the pool's coldpath miss is the only sanctioned allocation site)", name, p.typeStr(p.typeOf(call.Args[0])), p.typeStr(p.typeOf(call.Args[0]))))
+				} else {
+					out = append(out, p.finding("hotalloc", call,
+						"%s is hot-path reachable: new allocates", name))
+				}
 			case "append":
 				if len(call.Args) > 0 && !isScratchExpr(p, call.Args[0], scratch) {
 					out = append(out, p.finding("hotalloc", call,
@@ -314,6 +328,31 @@ func isScratchExpr(p *Package, e ast.Expr, scratch map[types.Object]bool) bool {
 func isBuiltinObj(o types.Object) bool {
 	_, ok := o.(*types.Builtin)
 	return ok
+}
+
+// isPooledType reports whether t names a type listed in
+// Config.PooledTypes ("pkgsuffix.Type" spec syntax, same matching rule
+// as HotRoots' package suffixes).
+func isPooledType(c *Config, t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	for _, spec := range c.PooledTypes {
+		i := strings.LastIndex(spec, ".")
+		if i < 0 || spec[i+1:] != obj.Name() {
+			continue
+		}
+		if pkg := spec[:i]; path == pkg || strings.HasSuffix(path, "/"+pkg) {
+			return true
+		}
+	}
+	return false
 }
 
 // parentMap records each node's parent within the declaration.

@@ -175,6 +175,13 @@ type Config struct {
 	// RequestStructs names the wire-request structs whose every exported
 	// field must be consumed in the declaring package.
 	RequestStructs []string
+	// PooledTypes names struct types ("pkgsuffix.Type") owned by a
+	// deterministic free-list pool. hotalloc flags any direct heap
+	// construction of one (&T{...} or new(T)) in hot-reachable code with
+	// a pool-specific diagnostic: the pool's constructor is the only
+	// sanctioned acquisition path, and its miss path is the only
+	// sanctioned allocation site (marked //drain:coldpath).
+	PooledTypes []string
 }
 
 // DefaultConfig returns the repository's production scope.
@@ -207,6 +214,12 @@ func DefaultConfig() *Config {
 			// overlay swap, flight drops and buffer evacuations must not
 			// allocate (the routing-table rebuild happens outside, in sim).
 			"internal/noc.Network.Reconfigure",
+			// The packet pool's acquire/release pair: every packet a run
+			// creates flows through these, so they must stay alloc-free
+			// except for the pool's own coldpath miss (allocPacket) and
+			// the free-list's amortized append growth.
+			"internal/noc.Network.NewPacket",
+			"internal/noc.Network.ReleasePacket",
 		},
 		// The four phase bodies the sharded engine fans across its worker
 		// pool (parallel.go runShardPhase); everything else the engine does
@@ -234,6 +247,13 @@ func DefaultConfig() *Config {
 		},
 		RequestStructs: []string{
 			"internal/server.Request",
+		},
+		// Packets are pool-owned (internal/noc/pool.go): acquisition goes
+		// through Network.NewPacket, and the only heap allocation is the
+		// pool's coldpath miss. A bare &Packet{...} or new(Packet) in hot
+		// code reintroduces exactly the per-packet churn the pool removes.
+		PooledTypes: []string{
+			"internal/noc.Packet",
 		},
 	}
 }

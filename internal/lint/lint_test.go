@@ -43,6 +43,8 @@ func TestFixtures(t *testing.T) {
 			// configs must point at fixture declarations instead.
 			cfg.DeterministicPkgs = []string{dir + "/a"}
 			switch a.Name {
+			case "hotalloc":
+				cfg.PooledTypes = []string{"a.token"}
 			case "serialrng":
 				cfg.RNGDrawFuncs = []string{"a.gen.draw"}
 			case "keycomplete":

@@ -40,10 +40,10 @@ func (e *engine) hot(n int) {
 }
 
 func (e *engine) box(s sink, n int) {
-	s.accept(n)       // want `\[hotalloc\] box is hot-path reachable: passing int as interface any boxes the value`
-	p := &pair{n, n}  // want `\[hotalloc\] box is hot-path reachable: &pair\{...\} escapes to the heap`
-	go e.hot(p.x)     // want `\[hotalloc\] box is hot-path reachable: go statement allocates a goroutine`
-	h := e.hot        // want `\[hotalloc\] box is hot-path reachable: method value hot allocates its bound closure`
+	s.accept(n)      // want `\[hotalloc\] box is hot-path reachable: passing int as interface any boxes the value`
+	p := &pair{n, n} // want `\[hotalloc\] box is hot-path reachable: &pair\{...\} escapes to the heap`
+	go e.hot(p.x)    // want `\[hotalloc\] box is hot-path reachable: go statement allocates a goroutine`
+	h := e.hot       // want `\[hotalloc\] box is hot-path reachable: method value hot allocates its bound closure`
 	h(n)
 	f := func() int { return n } // ok: non-escaping literal, called locally
 	_ = f()
@@ -87,6 +87,35 @@ func (e *engine) reschedule(now int) {
 
 func (e *engine) emit(t int) {
 	e.name = fmt.Sprint(t) // want `\[hotalloc\] emit is hot-path reachable: fmt.Sprint allocates`
+}
+
+// token models a pool-owned type (cfg.PooledTypes lists a.token): hot
+// code must acquire tokens through the pool, never construct directly.
+type token struct{ id int }
+
+type pool struct{ free []*token }
+
+//drain:hotpath fixture root: models the pool's acquire path
+func (pl *pool) acquire(n int) *token {
+	if k := len(pl.free); k > 0 {
+		t := pl.free[k-1]
+		pl.free = pl.free[:k-1]
+		return t
+	}
+	return pl.miss(n)
+}
+
+//drain:coldpath fixture: the pool's one sanctioned allocation site
+func (pl *pool) miss(n int) *token {
+	return &token{id: n}
+}
+
+//drain:hotpath fixture root: models a driver constructing around the pool
+func bypass(n int) *token {
+	t := &token{id: n} // want `\[hotalloc\] bypass is hot-path reachable: &token\{...\} bypasses the token free-list pool`
+	u := new(token)    // want `\[hotalloc\] bypass is hot-path reachable: new\(token\) bypasses the token free-list pool`
+	u.id = t.id
+	return u
 }
 
 // idle is never reached from the root: allocations here are fine.

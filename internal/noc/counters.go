@@ -28,6 +28,13 @@ type Counters struct {
 	FaultReroutes int64 // buffered packets evacuated off failed links
 	FaultDrops    int64 // packets dropped by link failures (in flight or stranded)
 
+	// Recycled counts packets returned to the free-list (pool.go):
+	// delivered packets drained by DiscardEjected or released by a
+	// consumer, failed injections handed back by the driver, and
+	// fault-dropped packets. It is bookkeeping for the pool-safety
+	// invariant, not a network event: no parallel phase touches it.
+	Recycled int64
+
 	// Per-virtual-network activity, for the Fig. 4 active/wasted power
 	// split. Activity is tracked at router granularity: VN vn is active
 	// at router r in a cycle when one of its flits moved through r, and
@@ -89,6 +96,7 @@ func (c *Counters) absorb(d *Counters) {
 	c.Reconfigs += d.Reconfigs
 	c.FaultReroutes += d.FaultReroutes
 	c.FaultDrops += d.FaultDrops
+	c.Recycled += d.Recycled
 	d.Created = 0
 	d.Injected = 0
 	d.Ejected = 0
@@ -109,6 +117,7 @@ func (c *Counters) absorb(d *Counters) {
 	d.Reconfigs = 0
 	d.FaultReroutes = 0
 	d.FaultDrops = 0
+	d.Recycled = 0
 	for i := range d.VNFlits {
 		c.VNFlits[i] += d.VNFlits[i]
 		d.VNFlits[i] = 0

@@ -92,10 +92,13 @@ func (e *eventEngine) step(n *Network) {
 		n.Counters.FrozenCyc++
 		return
 	}
-	// Allocation over the active set. The per-word copy makes clearing
-	// the just-visited bit safe mid-iteration; no bit can be *set*
-	// during this loop (grants only schedule future wheel events).
-	for wi := range e.alloc.words {
+	// Allocation over the active set, word-skipped through the summary
+	// level (nextWord): mostly-idle regions cost one summary test per 64
+	// routers. The per-word copy makes clearing the just-visited bit
+	// safe mid-iteration; no bit can be *set* during this loop (grants
+	// only schedule future wheel events), which is also what makes the
+	// forward nextWord walk exhaustive.
+	for wi := e.alloc.nextWord(-1); wi >= 0; wi = e.alloc.nextWord(wi) {
 		w := e.alloc.words[wi]
 		for w != 0 {
 			bit := bits.TrailingZeros64(w)
@@ -105,20 +108,20 @@ func (e *eventEngine) step(n *Network) {
 			if eligible == granted {
 				// Every eligible head moved out; the next head to appear
 				// (or mature) will re-set the bit via placed().
-				e.alloc.words[wi] &^= 1 << uint(bit)
+				e.alloc.clearWordBit(wi, bit)
 			}
 		}
 	}
 	// Injection over the routers with queued packets. Draws no
 	// randomness, so stale-set bits are harmless no-op visits.
-	for wi := range e.inj.words {
+	for wi := e.inj.nextWord(-1); wi >= 0; wi = e.inj.nextWord(wi) {
 		w := e.inj.words[wi]
 		for w != 0 {
 			bit := bits.TrailingZeros64(w)
 			w &^= 1 << uint(bit)
 			r := wi<<6 + bit
 			if !n.injectRouterQueues(r) {
-				e.inj.words[wi] &^= 1 << uint(bit)
+				e.inj.clearWordBit(wi, bit)
 			}
 		}
 	}
@@ -241,6 +244,9 @@ func (e *eventEngine) check(n *Network) error {
 	}
 	if total != e.count {
 		return fmt.Errorf("noc: wheel holds %d flights, count says %d", total, e.count)
+	}
+	if !e.alloc.sumConsistent() || !e.inj.sumConsistent() {
+		return fmt.Errorf("noc: activity bitset summary level disagrees with its words")
 	}
 	head := func(r int, p *Packet) error {
 		if p == nil || p.sending {

@@ -102,7 +102,7 @@ func checkConservation(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) error {
 		restoreAt = 700 + frng.IntN(100)
 	}
 
-	created, delivered := 0, 0
+	created, delivered, rejected := 0, 0, 0
 	seen := map[int64]bool{}
 	const horizon = 1200
 	for cyc := 0; cyc < horizon; cyc++ {
@@ -112,8 +112,14 @@ func checkConservation(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) error {
 			if dst != src {
 				class := rng.IntN(vnets)
 				flits := 1 + rng.IntN(5)
-				if net.Inject(net.NewPacket(src, dst, class, flits)) {
+				p := net.NewPacket(src, dst, class, flits)
+				if net.Inject(p) {
 					created++
+				} else {
+					// Failed injection leaves ownership with the caller;
+					// recycle so the pool-safety invariants cover this path.
+					net.ReleasePacket(p)
+					rejected++
 				}
 			}
 		}
@@ -184,6 +190,7 @@ func checkConservation(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) error {
 					}
 					seen[p.ID] = true
 					delivered++
+					net.ReleasePacket(p)
 				}
 			}
 		}
@@ -199,6 +206,18 @@ func checkConservation(seed uint64, nRaw, vnRaw, vcRaw, escRaw uint8) error {
 	if delivered+net.InFlightPackets()+int(net.Counters.FaultDrops) != created {
 		return fmt.Errorf("conservation: created=%d delivered=%d inflight=%d faultdrops=%d",
 			created, delivered, net.InFlightPackets(), net.Counters.FaultDrops)
+	}
+	// Pool conservation: every release above is accounted for — rejected
+	// injections and delivered packets recycled here, fault drops recycled
+	// inside the network — and the free list can never exceed the total
+	// ever recycled (a double release would break both identities, and
+	// CheckInvariants already rejects it structurally).
+	if want := int64(rejected+delivered) + net.Counters.FaultDrops; net.Counters.Recycled != want {
+		return fmt.Errorf("pool: recycled=%d, want rejected(%d)+delivered(%d)+faultdrops(%d)=%d",
+			net.Counters.Recycled, rejected, delivered, net.Counters.FaultDrops, want)
+	}
+	if free := net.PoolFree(); int64(free) > net.Counters.Recycled {
+		return fmt.Errorf("pool: %d packets free but only %d ever recycled", free, net.Counters.Recycled)
 	}
 	return nil
 }

@@ -7,6 +7,9 @@ import "fmt"
 func (n *Network) CheckInvariants() error {
 	seen := make(map[int64]string)
 	note := func(p *Packet, where string) error {
+		if p.pooled {
+			return fmt.Errorf("noc: packet %d at %s is marked pooled (use after release)", p.ID, where)
+		}
 		if prev, dup := seen[p.ID]; dup {
 			return fmt.Errorf("noc: packet %d in two places: %s and %s", p.ID, prev, where)
 		}
@@ -127,16 +130,48 @@ func (n *Network) CheckInvariants() error {
 	}
 	// The incremental non-empty-injection-queue count must agree with a
 	// full recount (injectFromQueues relies on it to skip empty cycles).
+	// The same sweep notes every queued packet, so the pool check below
+	// sees the complete live set.
 	injCount := 0
 	for r := 0; r < n.g.N(); r++ {
 		for c := range n.injQ[r] {
-			if n.injQ[r][c].Len() > 0 {
+			q := &n.injQ[r][c]
+			if q.Len() > 0 {
 				injCount++
+			}
+			for i := 0; i < q.n; i++ {
+				if err := note(q.buf[(q.head+i)%len(q.buf)], fmt.Sprintf("injQ[%d][%d]", r, c)); err != nil {
+					return err
+				}
+			}
+		}
+		for c := range n.ejQ[r] {
+			q := &n.ejQ[r][c]
+			for i := 0; i < q.n; i++ {
+				if err := note(q.buf[(q.head+i)%len(q.buf)], fmt.Sprintf("ejQ[%d][%d]", r, c)); err != nil {
+					return err
+				}
 			}
 		}
 	}
 	if n.injPending != injCount {
 		return fmt.Errorf("noc: injPending %d, recount %d", n.injPending, injCount)
+	}
+	// Pool safety: every free-list entry is marked pooled, appears only
+	// once, and is not simultaneously live anywhere the sweeps above saw —
+	// a packet may never be both free and in flight.
+	freeSeen := make(map[*Packet]bool, len(n.freePkts))
+	for i, p := range n.freePkts {
+		if !p.pooled {
+			return fmt.Errorf("noc: free-list entry %d (packet %d) not marked pooled", i, p.ID)
+		}
+		if freeSeen[p] {
+			return fmt.Errorf("noc: packet %d appears twice in the free list (double release)", p.ID)
+		}
+		freeSeen[p] = true
+		if where, live := seen[p.ID]; live {
+			return fmt.Errorf("noc: packet %d is both free and live at %s", p.ID, where)
+		}
 	}
 	// Engine-internal invariants (timing wheel, activity bitmaps).
 	return n.eng.check(n)

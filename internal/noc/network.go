@@ -126,6 +126,11 @@ type Network struct {
 	//drain:staged indexed by router; phases adjust only entries of routers their shard owns (shardsafe)
 	occLocal []int32
 
+	// freePkts is the packet free-list (LIFO): NewPacket pops it,
+	// ReleasePacket pushes it. See pool.go for the ownership and
+	// determinism rules.
+	freePkts []*Packet
+
 	// linkDown marks unidirectional links failed by a live
 	// reconfiguration (see Reconfigure). The graph and all linkID-indexed
 	// arrays keep the full topology's dense numbering forever; a failed
@@ -268,11 +273,15 @@ func (n *Network) SkipIdle(k int64) {
 	n.noteFFCycles(k)
 }
 
-// NewPacket allocates a packet with position/IDs initialized; the caller
-// sets protocol fields and passes it to Inject.
+// NewPacket returns a packet with position/IDs initialized; the caller
+// sets protocol fields and passes it to Inject. The packet comes from
+// the network's free-list when one is available (see pool.go) — every
+// field is rewritten, so a recycled packet is indistinguishable from a
+// fresh allocation.
 func (n *Network) NewPacket(src, dst, class, flits int) *Packet {
 	n.nextID++
-	return &Packet{
+	p := n.takePacket()
+	*p = Packet{
 		ID:        n.nextID,
 		Src:       src,
 		Dst:       dst,
@@ -284,6 +293,7 @@ func (n *Network) NewPacket(src, dst, class, flits int) *Packet {
 		inLink:    LocalPort,
 		slot:      -1,
 	}
+	return p
 }
 
 // CanInject reports whether router r's injection queue for class has room.
@@ -337,15 +347,19 @@ func (n *Network) PeekEjected(r, class int) *Packet {
 }
 
 // DiscardEjected empties every ejection queue, visiting only routers
-// that ejected something since the last sweep. Synthetic-traffic sinks
-// use it in place of a full router × class PopEjected scan; protocol
-// consumers that need the packets keep using PopEjected (a router left
-// dirty after manual pops is a harmless extra visit here).
+// that ejected something since the last sweep, and recycles every
+// drained packet into the free-list (the delivered packet's simulation
+// life is over; statistics were taken at OnEject time). Synthetic-
+// traffic sinks use it in place of a full router × class PopEjected
+// scan; protocol consumers that need the packets keep using PopEjected
+// (a router left dirty after manual pops is a harmless extra visit
+// here) and may ReleasePacket themselves once done.
 func (n *Network) DiscardEjected() {
 	for _, r := range n.ejDirtyList {
 		for c := range n.ejQ[r] {
 			q := &n.ejQ[r][c]
-			for q.Pop() != nil {
+			for p := q.Pop(); p != nil; p = q.Pop() {
+				n.ReleasePacket(p)
 			}
 		}
 		n.ejDirty[r] = false

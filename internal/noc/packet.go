@@ -58,6 +58,11 @@ type Packet struct {
 	slot     int // VC slot index within the input port
 	readyAt  int64
 	sending  bool
+
+	// pooled marks a packet sitting in the free-list (see pool.go):
+	// set by ReleasePacket, cleared by NewPacket's full rewrite. It
+	// exists to catch use-after-release and double-release bugs.
+	pooled bool
 }
 
 // At returns the router currently buffering the packet.

@@ -305,7 +305,7 @@ func (e *parallelEngine) stepInline(n *Network, fl []flight, slot int64) {
 	}
 	for s := range e.shards {
 		sh := &e.shards[s]
-		for wi := range sh.alloc.words {
+		for wi := sh.alloc.nextWord(-1); wi >= 0; wi = sh.alloc.nextWord(wi) {
 			w := sh.alloc.words[wi]
 			for w != 0 {
 				bit := bits.TrailingZeros64(w)
@@ -313,20 +313,20 @@ func (e *parallelEngine) stepInline(n *Network, fl []flight, slot int64) {
 				r := wi<<6 + bit
 				eligible, granted := n.allocateRouter(r, &n.gs)
 				if eligible == granted {
-					sh.alloc.words[wi] &^= 1 << uint(bit)
+					sh.alloc.clearWordBit(wi, bit)
 				}
 			}
 		}
 	}
 	for s := range e.shards {
 		sh := &e.shards[s]
-		for wi := range sh.inj.words {
+		for wi := sh.inj.nextWord(-1); wi >= 0; wi = sh.inj.nextWord(wi) {
 			w := sh.inj.words[wi]
 			for w != 0 {
 				bit := bits.TrailingZeros64(w)
 				w &^= 1 << uint(bit)
 				if !n.injectRouterQueues(wi<<6 + bit) {
-					sh.inj.words[wi] &^= 1 << uint(bit)
+					sh.inj.clearWordBit(wi, bit)
 				}
 			}
 		}
@@ -433,7 +433,7 @@ func (e *parallelEngine) planShard(n *Network, s int) {
 	sh.wins = sh.wins[:0]
 	sh.outs = sh.outs[:0]
 	sh.opts = sh.opts[:0]
-	for wi := range sh.alloc.words {
+	for wi := sh.alloc.nextWord(-1); wi >= 0; wi = sh.alloc.nextWord(wi) {
 		w := sh.alloc.words[wi]
 		for w != 0 {
 			bit := bits.TrailingZeros64(w)
@@ -444,7 +444,7 @@ func (e *parallelEngine) planShard(n *Network, s int) {
 				if eligible == 0 {
 					// Stale bit: the visit found nothing and would have
 					// drawn no randomness — clear, as the event engine does.
-					sh.alloc.words[wi] &^= 1 << uint(bit)
+					sh.alloc.clearWordBit(wi, bit)
 				}
 				continue
 			}
@@ -535,7 +535,7 @@ func (e *parallelEngine) commit(n *Network) {
 // stage per shard.
 func (e *parallelEngine) injectShard(n *Network, s int) {
 	sh := &e.shards[s]
-	for wi := range sh.inj.words {
+	for wi := sh.inj.nextWord(-1); wi >= 0; wi = sh.inj.nextWord(wi) {
 		w := sh.inj.words[wi]
 		for w != 0 {
 			bit := bits.TrailingZeros64(w)
@@ -543,7 +543,7 @@ func (e *parallelEngine) injectShard(n *Network, s int) {
 			pending, emptied := n.injectRouterQueuesInto(wi<<6+bit, &sh.ctr)
 			sh.injDelta += emptied
 			if !pending {
-				sh.inj.words[wi] &^= 1 << uint(bit)
+				sh.inj.clearWordBit(wi, bit)
 			}
 		}
 	}
@@ -702,6 +702,9 @@ func (e *parallelEngine) check(n *Network) error {
 			if !owned && (sh.alloc.get(r) || sh.inj.get(r)) {
 				return fmt.Errorf("noc: shard %d holds activity bit for router %d outside [%d,%d)", s, r, sh.lo, sh.hi)
 			}
+		}
+		if !sh.alloc.sumConsistent() || !sh.inj.sumConsistent() {
+			return fmt.Errorf("noc: shard %d activity bitset summary level disagrees with its words", s)
 		}
 		for d := range sh.upOut {
 			if len(sh.upOut[d]) != 0 {

@@ -126,6 +126,7 @@ func (n *Network) Reconfigure(active *topology.Graph, tab *routing.Table) (Recon
 					n.occIn[p.atRouter]--
 					n.occLink[l]--
 					n.Counters.FaultDrops++
+					n.ReleasePacket(p)
 					rep.Dropped++
 				}
 			}
@@ -180,6 +181,7 @@ func (n *Network) dropFlight(f flight) {
 	p.sending = false
 	n.linkVC[f.toLink][f.toSlot].reserved = false
 	n.Counters.FaultDrops++
+	n.ReleasePacket(p)
 }
 
 // evacuate moves the non-sending packet p out of failed-link slot

@@ -313,10 +313,14 @@ func (g *Generator) emit(n *noc.Network, src int) {
 	if g.rng.Float64() >= g.CtrlFraction {
 		flits = g.DataFlits
 	}
-	if n.Inject(n.NewPacket(src, dst, g.Class, flits)) {
+	p := n.NewPacket(src, dst, g.Class, flits)
+	if n.Inject(p) {
 		g.Created++
 	} else {
+		// A refused injection leaves ownership with us (the queue never
+		// saw the packet), so hand it straight back to the pool.
 		g.Skipped++
+		n.ReleasePacket(p)
 	}
 }
 

@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"drain/internal/dense"
 )
 
 // Header carries the routing/protocol information of an original packet;
@@ -119,25 +121,35 @@ func Truncate(s SubPacket, after int) (down, up SubPacket, err error) {
 }
 
 // Reassembler collects sub-packet flits at a destination's MSHRs and
-// reports completed packets.
+// reports completed packets. Pending assemblies live in a dense table
+// keyed by packet ID and each tracks its received flits as a bitset —
+// the per-flit path is an index plus a word test, with no map hashing.
 type Reassembler struct {
-	pending map[int64]*assembly
+	pending dense.Table[*assembly]
 	// Completed counts fully reassembled packets.
 	Completed int64
 }
 
 type assembly struct {
 	header Header
-	got    map[int]bool
+	got    []uint64 // received-flit bitset, indexed by original Seq
+	n      int      // count of bits set in got
+}
+
+func (a *assembly) has(seq int) bool { return a.got[seq>>6]&(1<<(seq&63)) != 0 }
+
+func (a *assembly) mark(seq int) {
+	a.got[seq>>6] |= 1 << (seq & 63)
+	a.n++
 }
 
 // NewReassembler returns an empty reassembler.
 func NewReassembler() *Reassembler {
-	return &Reassembler{pending: make(map[int64]*assembly)}
+	return &Reassembler{}
 }
 
 // Pending returns the number of partially reassembled packets.
-func (r *Reassembler) Pending() int { return len(r.pending) }
+func (r *Reassembler) Pending() int { return r.pending.Len() }
 
 // Accept buffers one arriving sub-packet. It returns the reassembled
 // original packet (flits in order) when this sub-packet completes it,
@@ -147,10 +159,10 @@ func (r *Reassembler) Accept(s SubPacket) (*SubPacket, error) {
 		return nil, err
 	}
 	h := s.Flits[0].Header
-	a := r.pending[h.PacketID]
-	if a == nil {
-		a = &assembly{header: h, got: make(map[int]bool, h.TotalFlits)}
-		r.pending[h.PacketID] = a
+	a, ok := r.pending.Get(h.PacketID)
+	if !ok {
+		a = &assembly{header: h, got: make([]uint64, (h.TotalFlits+63)/64)}
+		r.pending.Put(h.PacketID, a)
 	}
 	if a.header != h {
 		return nil, fmt.Errorf("wormhole: packet %d header mismatch across sub-packets", h.PacketID)
@@ -159,15 +171,15 @@ func (r *Reassembler) Accept(s SubPacket) (*SubPacket, error) {
 		if f.Seq < 0 || f.Seq >= h.TotalFlits {
 			return nil, fmt.Errorf("wormhole: packet %d flit seq %d out of range", h.PacketID, f.Seq)
 		}
-		if a.got[f.Seq] {
+		if a.has(f.Seq) {
 			return nil, fmt.Errorf("wormhole: packet %d duplicate flit %d", h.PacketID, f.Seq)
 		}
-		a.got[f.Seq] = true
+		a.mark(f.Seq)
 	}
-	if len(a.got) < h.TotalFlits {
+	if a.n < h.TotalFlits {
 		return nil, nil
 	}
-	delete(r.pending, h.PacketID)
+	r.pending.Delete(h.PacketID)
 	r.Completed++
 	out := NewPacket(h)
 	return &out, nil
